@@ -1,0 +1,25 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs its experiment once (``benchmark.pedantic`` with a
+single round — the experiment *is* the workload) and prints the same
+rows/series the paper's figure reports, so ``pytest benchmarks/
+--benchmark-only -s`` regenerates the evaluation section.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print results past pytest's capture (visible without -s)."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _show
+
+
+def run_once(benchmark, fn):
+    """Run the experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,102 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out
+(section 6 discussion items, not paper figures).
+
+* Partial uFAB-C deployment -> predictability degrades with coverage.
+* Eqn-1-only ("explicit allocation", weighted-RCP-like) -> guarantees
+  hold but work conservation is lost.
+* Bloom sizing -> false positives under-count Phi_l.
+* Headroom eta -> utilization/queue trade.
+* Appendix-F multipath split -> serves guarantees above any single
+  path's capacity.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_ablation_partial_deployment(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: ablations.run_partial_deployment(
+            fractions=(1.0, 0.5, 0.0), duration=0.08
+        ),
+    )
+    show(
+        format_table(
+            "Ablation: uFAB-C deployment fraction vs predictability",
+            ["coverage", "dissatisfaction", "queue p99 (KB)"],
+            [
+                [f"{r.fraction:.0%}", f"{100 * r.dissatisfaction_ratio:.1f}%",
+                 f"{r.queue_p99_bits / 8e3:.0f}"]
+                for r in results
+            ],
+        )
+    )
+    by = {r.fraction: r for r in results}
+    assert by[1.0].dissatisfaction_ratio <= by[0.0].dissatisfaction_ratio + 0.02
+
+
+def test_ablation_explicit_rate_only(benchmark, show):
+    results = run_once(benchmark, ablations.run_explicit_rate_ablation)
+    show(
+        format_table(
+            "Ablation: full uFAB vs Eqn-1-only explicit allocation",
+            ["mode", "limited pair (G)", "backlogged pair (G)", "bottleneck util"],
+            [
+                [r.mode, f"{r.limited_pair_rate / 1e9:.2f}",
+                 f"{r.backlogged_pair_rate / 1e9:.2f}", f"{r.utilization:.2f}"]
+                for r in results
+            ],
+        )
+    )
+    by = {r.mode: r for r in results}
+    assert by["ufab"].backlogged_pair_rate > 2 * by["eqn1-only"].backlogged_pair_rate
+
+
+def test_ablation_bloom_sizing(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: ablations.run_bloom_sensitivity(duration=0.04),
+    )
+    show(
+        format_table(
+            "Ablation: Bloom filter size vs register accuracy",
+            ["bits", "false positives", "Phi undercount", "dissatisfaction"],
+            [
+                [r.bloom_bits, r.false_positives,
+                 f"{100 * r.phi_undercount:.1f}%",
+                 f"{100 * r.dissatisfaction_ratio:.1f}%"]
+                for r in results
+            ],
+        )
+    )
+    assert results[-1].false_positives > results[0].false_positives
+
+
+def test_ablation_headroom(benchmark, show):
+    results = run_once(benchmark, ablations.run_headroom_sweep)
+    show(
+        format_table(
+            "Ablation: target utilization eta vs queueing",
+            ["eta", "utilization", "queue p99 (KB)"],
+            [
+                [f"{r.eta:.2f}", f"{r.utilization:.3f}",
+                 f"{r.queue_p99_bits / 8e3:.1f}"]
+                for r in results
+            ],
+        )
+    )
+    assert results[0].utilization < results[-1].utilization
+
+
+def test_extension_multipath_split(benchmark, show):
+    result = run_once(benchmark, ablations.run_multipath_split)
+    show(
+        "Appendix F extension: 8G guarantee over two 5G paths\n"
+        f"  single path: {result.single_path_rate / 1e9:.2f} Gbps\n"
+        f"  Algorithm-2 split: {result.multipath_rate / 1e9:.2f} Gbps "
+        f"(tokens {result.split_tokens[0]:.0f} + {result.split_tokens[1]:.0f})"
+    )
+    assert result.multipath_rate > 1.5 * result.single_path_rate

@@ -1,0 +1,41 @@
+"""Figure 4 / Case-1: RTT under various incast degrees.
+
+Paper: PWC's tail latency grows with the incast degree (99th pct in the
+millisecond range at 14-to-1) while uFAB keeps the tail under its
+latency bound regardless of degree.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import case1_incast
+
+from conftest import run_once
+
+DEGREES = (2, 6, 10, 14)
+
+
+def test_fig04_rtt_vs_incast_degree(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: case1_incast.run(degrees=DEGREES, schemes=("pwc", "ufab"), duration=0.02),
+    )
+    rows = [
+        [r.scheme, r.degree, f"{r.median * 1e6:.0f}", f"{r.p99 * 1e6:.0f}",
+         f"{r.p999 * 1e6:.0f}"]
+        for r in results
+    ]
+    bound = case1_incast.latency_bound(14) * 1e6
+    show(
+        format_table(
+            f"Figure 4: RTT (us) vs incast degree (latency bound = {bound:.0f} us)",
+            ["scheme", "N", "median", "p99", "p99.9"],
+            rows,
+        )
+    )
+    by = {(r.scheme, r.degree): r for r in results}
+    # PWC's tail grows with degree; uFAB's stays near the bound.
+    assert by[("pwc", 14)].p999 > by[("pwc", 2)].p999
+    assert by[("ufab", 14)].p999 <= 2.0 * case1_incast.latency_bound(14)
+    assert by[("pwc", 14)].p999 > 2.0 * by[("ufab", 14)].p999
+    benchmark.extra_info["pwc_vs_ufab_p999"] = (
+        by[("pwc", 14)].p999 / by[("ufab", 14)].p999
+    )

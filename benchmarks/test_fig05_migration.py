@@ -1,0 +1,41 @@
+"""Figure 5 / Case-2: utilization-oriented load balance vs guarantees.
+
+Paper: when F4 joins, Clove sends it to the least-utilized path and F1's
+guarantee breaks; at a 36us flowlet gap F4 oscillates between paths.
+uFAB reads the subscription and sends F4 to the only qualified path —
+everyone stays satisfied, no migrations.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import case2_migration
+
+from conftest import run_once
+
+
+def test_fig05_path_migration_case(benchmark, show):
+    results = run_once(benchmark, lambda: case2_migration.run(duration=0.16))
+    rows = []
+    for r in results:
+        tail = {k: v[-1][1] / 1e9 for k, v in r.rate_series.items()}
+        label = r.scheme if r.flowlet_gap_s is None else (
+            f"{r.scheme} ({r.flowlet_gap_s * 1e6:.0f}us)"
+        )
+        rows.append([
+            label,
+            "yes" if r.f1_satisfied_after_join else "NO",
+            "yes" if r.f4_satisfied_after_join else "NO",
+            r.migrations_f4,
+            " ".join(f"{k}={tail[k]:.1f}G" for k in ("F1", "F2", "F3", "F4")),
+        ])
+    show(
+        format_table(
+            "Figure 5: guarantees after F4 joins (F1 wants 8G, F4 wants 3G)",
+            ["scheme", "F1 ok", "F4 ok", "F4 migrations", "final rates"],
+            rows,
+        )
+    )
+    pwc200, pwc36, ufab = results
+    assert not pwc200.f1_satisfied_after_join  # guarantee broken (Fig 5b)
+    assert pwc36.migrations_f4 > 10  # oscillation (Fig 5c)
+    assert ufab.f1_satisfied_after_join and ufab.f4_satisfied_after_join
+    assert ufab.migrations_f4 == 0  # close to ideal (Fig 5d)

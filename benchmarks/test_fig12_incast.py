@@ -1,0 +1,43 @@
+"""Figure 12: 14-to-1 incast — convergence and bounded latency.
+
+Paper: uFAB and uFAB' converge within RTTs; PWC and ES+Clove converge
+slowly with fluctuation.  With the two-stage admission, uFAB restrains
+the initial burst and keeps the tail under the 4-baseRTT bound; uFAB'
+cannot bound the tail.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import fig12_incast
+
+from conftest import run_once
+
+
+def test_fig12_incast_bounded_latency(benchmark, show):
+    results = run_once(benchmark, lambda: fig12_incast.run(duration=0.04))
+    bound = fig12_incast.latency_bound() * 1e6
+    rows = [
+        [
+            r.scheme,
+            f"{r.p50 * 1e6:.0f}",
+            f"{r.p99 * 1e6:.0f}",
+            f"{r.max_rtt * 1e6:.0f}",
+            f"{r.converged_fair_share / 1e9:.2f}",
+        ]
+        for r in results
+    ]
+    show(
+        format_table(
+            f"Figure 12: 14-to-1 incast RTT (us; bound = {bound:.0f} us) "
+            "and converged per-flow rate (Gbps)",
+            ["scheme", "p50", "p99", "max", "rate/flow"],
+            rows,
+        )
+    )
+    by = {r.scheme: r for r in results}
+    # uFAB bounds the tail; dropping the optimization (uFAB') loses it.
+    assert by["ufab"].p99 <= 2.0 * fig12_incast.latency_bound()
+    assert by["ufab-prime"].p99 > 3.0 * by["ufab"].p99
+    assert by["pwc"].p99 > 3.0 * by["ufab"].p99
+    # Everyone converges to ~C/14 eventually (fairness sanity).
+    for r in results:
+        assert r.converged_fair_share > 0.3e9

@@ -1,0 +1,46 @@
+"""Figure 14: EBS task completion times (SA / BA / Total).
+
+Paper: uFAB completes I/O within the converted latency bound (2 ms
+average, 10 ms tail at 10G) and beats the alternatives by 21x-33x at
+the tail.  In this fluid-model reproduction uFAB meets the bound, but
+the baselines are *not* punished the way the paper's testbed punishes
+them (no microburst/PCIe pathologies in a fluid substrate) — so the
+relative tail gap does not reproduce; see EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import fig14_ebs
+
+from conftest import run_once
+
+
+def test_fig14_ebs_task_completion(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: fig14_ebs.run(schemes=("pwc", "es+clove", "ufab"), duration=0.1),
+    )
+    rows = []
+    for r in results:
+        rows.append([
+            r.scheme,
+            f"{r.avg_tct['SA'] * 1e3:.2f}",
+            f"{r.avg_tct['BA'] * 1e3:.2f}",
+            f"{r.avg_tct['Total'] * 1e3:.2f}",
+            f"{r.p99_tct['Total'] * 1e3:.2f}",
+            "yes" if r.within_bound else "NO",
+        ])
+    show(
+        format_table(
+            "Figure 14: EBS TCT (ms); bound = 2 ms avg / 10 ms tail",
+            ["scheme", "SA avg", "BA avg", "Total avg", "Total p99", "within bound"],
+            rows,
+        )
+    )
+    by = {r.scheme: r for r in results}
+    # The paper's headline property: uFAB meets the converted bound.
+    assert by["ufab"].within_bound
+    assert by["ufab"].avg_tct["Total"] <= fig14_ebs.LATENCY_BOUND_AVG
+    assert by["ufab"].p99_tct["Total"] <= fig14_ebs.LATENCY_BOUND_TAIL
+    benchmark.extra_info["total_avg_ms"] = {
+        r.scheme: r.avg_tct["Total"] * 1e3 for r in results
+    }

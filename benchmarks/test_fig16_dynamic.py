@@ -1,0 +1,49 @@
+"""Figure 16: 90-to-1 convergence under a highly dynamic workload.
+
+Paper: PWC overshoots and under-utilizes; ES+Clove recovers its
+guarantee aggressively and worsens latency; uFAB converges in RTTs and,
+with the latency optimization, bounds the max RTT (27x below PWC in the
+paper's run).  In this reproduction uFAB is bounded and ES+Clove's
+latency explodes; fluid-model PWC does not overshoot (EXPERIMENTS.md).
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import fig16_dynamic
+
+from conftest import run_once
+
+
+def test_fig16_dynamic_90_to_1(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: fig16_dynamic.run(
+            schemes=("pwc", "es+clove", "ufab-prime", "ufab"),
+            n_senders=90,
+            duration=0.02,
+        ),
+    )
+    rows = [
+        [
+            r.scheme,
+            f"{r.mean_utilization_overload:.2f}",
+            f"{r.p50 * 1e6:.0f}",
+            f"{r.p99 * 1e6:.0f}",
+            f"{r.max_rtt * 1e6:.0f}",
+        ]
+        for r in results
+    ]
+    show(
+        format_table(
+            "Figure 16: 90-to-1 on/off workload — overload utilization and RTT (us)",
+            ["scheme", "util@overload", "RTT p50", "RTT p99", "RTT max"],
+            rows,
+        )
+    )
+    by = {r.scheme: r for r in results}
+    assert by["ufab"].max_rtt < 500e-6  # bounded through every burst
+    assert by["ufab"].mean_utilization_overload > 0.9  # work conserving
+    assert by["ufab-prime"].max_rtt > 10 * by["ufab"].max_rtt
+    assert by["es+clove"].max_rtt > 10 * by["ufab"].max_rtt
+    benchmark.extra_info["max_rtt_us"] = {
+        r.scheme: r.max_rtt * 1e6 for r in results
+    }

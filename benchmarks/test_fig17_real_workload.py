@@ -1,0 +1,72 @@
+"""Figure 17: performance under a realistic tenant workload.
+
+Paper: across oversubscription (1:2, 1:1) and loads (0.5, 0.7), uFAB's
+bandwidth dissatisfaction is far below both baselines, its tail RTT is
+the lowest, and its FCT slowdown beats them, especially for short flows.
+(Scaled down: 36 hosts, 10G links, tens of ms — shapes, not absolutes.)
+"""
+
+import math
+
+from repro.analysis.report import format_table
+from repro.experiments import fig17_realworkload
+
+from conftest import run_once
+
+CONFIGS = (("1:2", 0.7), ("1:1", 0.7))
+
+
+def test_fig17_real_workload(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: fig17_realworkload.run(
+            schemes=("pwc", "es+clove", "ufab"), configs=CONFIGS, duration=0.025
+        ),
+    )
+    rows = [
+        [
+            r.scheme,
+            r.oversubscription,
+            f"{r.load:.1f}",
+            f"{r.dissatisfaction_percent:.1f}%",
+            f"{r.tail_rtt * 1e6:.0f}",
+            f"{r.slowdown_avg:.1f}",
+            f"{r.slowdown_p99:.0f}",
+            r.n_flows,
+        ]
+        for r in results
+    ]
+    show(
+        format_table(
+            "Figure 17: dissatisfaction, tail RTT (us), FCT slowdown",
+            ["scheme", "oversub", "load", "dissat", "RTT p99", "slow avg",
+             "slow p99", "flows"],
+            rows,
+        )
+    )
+    # Breakdown panel (Fig 17d) for the 1:1 / 0.7 configuration.
+    breakdown_rows = []
+    for r in results:
+        if r.oversubscription == "1:1" and r.load == 0.7:
+            for size_bin, (avg, p99) in r.slowdown_by_size.items():
+                if not math.isnan(avg):
+                    breakdown_rows.append(
+                        [r.scheme, f"<= {size_bin} KB", f"{avg:.1f}", f"{p99:.0f}"]
+                    )
+    show(
+        format_table(
+            "Figure 17d: FCT slowdown by flow size (1:1, load 0.7)",
+            ["scheme", "size bin", "avg", "p99"],
+            breakdown_rows,
+        )
+    )
+    for oversub, load in CONFIGS:
+        subset = {
+            r.scheme: r
+            for r in results
+            if r.oversubscription == oversub and r.load == load
+        }
+        assert subset["ufab"].dissatisfaction_percent <= (
+            subset["pwc"].dissatisfaction_percent + 1.0
+        )
+        assert subset["ufab"].tail_rtt <= subset["es+clove"].tail_rtt * 1.5

@@ -1,0 +1,73 @@
+"""Figure 18: sensitivity to the migration freeze window and probing
+frequency.
+
+Paper (a/b): convergence stays sub-millisecond across freeze windows at
+50% load; at 70% the slower [1,10] window cuts migration churn.
+(c): lazy probing (2-3 RTT periods) converges about as fast as
+self-clocked probing because stale feedback produces more aggressive
+per-round corrections.
+"""
+
+import math
+
+from repro.analysis.report import format_table
+from repro.experiments import fig18_sensitivity
+
+from conftest import run_once
+
+
+def test_fig18ab_freeze_window(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: fig18_sensitivity.run_freeze_window(
+            windows=((1, 2), (1, 4), (1, 10)), loads=(0.5, 0.7), duration=0.05
+        ),
+    )
+    rows = [
+        [
+            f"[{r.freeze_window[0]},{r.freeze_window[1]}]",
+            f"{r.load:.0%}",
+            ("%.2f ms" % (r.convergence_time * 1e3))
+            if math.isfinite(r.convergence_time)
+            else ">run",
+            r.migrations,
+        ]
+        for r in results
+    ]
+    show(
+        format_table(
+            "Figure 18a/b: freeze window vs convergence and migrations",
+            ["window (RTT)", "load", "convergence", "migrations"],
+            rows,
+        )
+    )
+    at_50 = [r for r in results if r.load == 0.5]
+    assert all(
+        math.isfinite(r.convergence_time) and r.convergence_time < 0.05
+        for r in at_50
+    )
+
+
+def test_fig18c_probing_frequency(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: fig18_sensitivity.run_probing_frequency(
+            periods_rtts=(0.0, 2.0, 3.0), duration=0.015
+        ),
+    )
+    rows = [
+        [r.label, f"{r.convergence_time * 1e3:.2f} ms"]
+        for r in results
+    ]
+    show(
+        format_table(
+            "Figure 18c: probing frequency vs incast convergence time",
+            ["probing", "convergence"],
+            rows,
+        )
+    )
+    by = {r.label: r for r in results}
+    # Lazy probing converges within the same order of magnitude.
+    assert by["3 RTT"].convergence_time < 10 * max(
+        by["self-clocking"].convergence_time, 1e-4
+    )

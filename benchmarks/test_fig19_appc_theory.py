@@ -1,0 +1,40 @@
+"""Figure 19 / Appendix C: theoretical convergence properties.
+
+The dual recursion converges to the weighted alpha-fair (-> max-min)
+allocation; the primal (Eqn 3) loop reacts to a burst within ~2 RTTs
+and the inflight stays within the 3-BDP bound.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments import appc_theory
+
+from conftest import run_once
+
+
+def test_appc_dual_recursion_convergence(benchmark, show):
+    result = run_once(benchmark, lambda: appc_theory.run_dual_convergence(steps=200))
+    show(
+        format_table(
+            "Appendix C: dual recursion vs weighted max-min (2-link parking lot)",
+            ["path", "dual allocation", "max-min reference"],
+            [
+                [f"p{i}", f"{a:.3f}", f"{r:.3f}"]
+                for i, (a, r) in enumerate(zip(result.allocation, result.reference))
+            ],
+        )
+        + f"\nfinal rel. error {result.final_error:.3%}, "
+        f"{result.iterations_to_5pct} iterations to 5%"
+    )
+    assert result.final_error < 0.05
+    assert result.iterations_to_5pct < 150
+
+
+def test_appc_primal_reaction(benchmark, show):
+    result = run_once(benchmark, appc_theory.run_primal_reaction)
+    show(
+        f"Figure 19a: uFAB reacts to a 3-pair burst in "
+        f"{result.reaction_rtts:.1f} RTTs; peak inflight "
+        f"{result.peak_queue_bdp:.2f} BDP (bound: 3 BDP)"
+    )
+    assert result.reaction_rtts < 8.0
+    assert result.peak_queue_bdp <= 3.5

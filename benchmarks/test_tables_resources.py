@@ -1,0 +1,45 @@
+"""Tables 3-4: hardware resource consumption models.
+
+Table 3: uFAB-E on a Xilinx Alveo U200 (8K VM-pairs, 1K tenants) —
+<= 10-20% of each resource type.  Table 4: uFAB-C on a Tofino for
+20K/40K/80K VM-pairs — only SRAM and hash bits grow, slightly.
+"""
+
+from repro.analysis.report import format_table
+from repro.resources.model import FpgaResourceModel, TofinoResourceModel
+
+from conftest import run_once
+
+
+def test_table3_fpga_resources(benchmark, show):
+    model = run_once(benchmark, FpgaResourceModel)
+    usage = model.module_usage()
+    totals = model.totals()
+    kinds = ["LUT", "Registers", "BRAM", "URAM"]
+    rows = [
+        [module] + [f"{vals[k]:.1f}%" for k in kinds]
+        for module, vals in usage.items()
+    ]
+    rows.append(["Total"] + [f"{totals[k]:.1f}%" for k in kinds])
+    show(format_table("Table 3: uFAB-E resource consumption (Alveo U200)",
+                      ["Module"] + kinds, rows))
+    assert model.fits(budget_percent=20.0)
+    assert totals["BRAM"] == max(totals.values())  # memory-dominated
+
+
+def test_table4_tofino_resources(benchmark, show):
+    models = run_once(
+        benchmark, lambda: [TofinoResourceModel(n) for n in (20_000, 40_000, 80_000)]
+    )
+    kinds = sorted(models[0].usage())
+    rows = [
+        [kind] + [f"{m.usage()[kind]:.2f}%" for m in models] for kind in kinds
+    ]
+    show(format_table("Table 4: uFAB-C resource consumption (Tofino)",
+                      ["Resource", "20K", "40K", "80K"], rows))
+    u = [m.usage() for m in models]
+    assert u[0]["SRAM"] < u[1]["SRAM"] < u[2]["SRAM"]
+    assert u[2]["SRAM"] < 20.0  # "most types ... less than 20%"
+    assert all(m.fits() for m in models)
+    # Bloom filter sizing behind the SRAM numbers: ~20 KB at 20K pairs.
+    assert abs(models[0].bloom_kilobytes() - 20.0) < 3.5

@@ -1,0 +1,59 @@
+"""repro — reproduction of "Predictable vFabric on Informative Data
+Plane" (uFAB, SIGCOMM 2022).
+
+Public API quickstart::
+
+    from repro import Network, VMPair, install_ufab, three_tier_testbed
+
+    net = Network(three_tier_testbed())
+    fabric = install_ufab(net)
+    pair = VMPair("t1:S1->S5", vf="t1", src_host="S1", dst_host="S5", phi=2000)
+    fabric.add_pair(pair)
+    net.run(until=0.05)
+    print(net.delivered_rate(pair.pair_id))
+
+Packages:
+
+* :mod:`repro.core` — uFAB itself (edge agent, informative core, token
+  assignment, probe format).
+* :mod:`repro.sim` — the discrete-event fluid network simulator.
+* :mod:`repro.baselines` — PicNIC', WCC/Swift, ElasticSwitch, Clove, ECMP.
+* :mod:`repro.workloads` — traffic and application models.
+* :mod:`repro.analysis` — metrics (CDFs, dissatisfaction, slowdown).
+* :mod:`repro.resources` — hardware resource / overhead models.
+* :mod:`repro.experiments` — one runner per paper figure/table.
+"""
+
+from repro.core.edge import UFabFabric, install_ufab
+from repro.core.params import UFabParams
+from repro.baselines.fabrics import ESCloveFabric, PWCFabric, make_fabric
+from repro.sim.host import VMPair
+from repro.sim.network import Network
+from repro.sim.topology import (
+    Topology,
+    dumbbell,
+    fat_tree,
+    leaf_spine,
+    parking_lot,
+    three_tier_testbed,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UFabFabric",
+    "install_ufab",
+    "UFabParams",
+    "PWCFabric",
+    "ESCloveFabric",
+    "make_fabric",
+    "VMPair",
+    "Network",
+    "Topology",
+    "dumbbell",
+    "parking_lot",
+    "leaf_spine",
+    "fat_tree",
+    "three_tier_testbed",
+    "__version__",
+]

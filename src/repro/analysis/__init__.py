@@ -1,0 +1,22 @@
+"""Metrics and reporting helpers for the evaluation figures."""
+
+from repro.analysis.metrics import (
+    Cdf,
+    GuaranteeAuditor,
+    QueueSampler,
+    RttSampler,
+    fct_slowdown,
+    percentile,
+)
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "Cdf",
+    "GuaranteeAuditor",
+    "QueueSampler",
+    "RttSampler",
+    "percentile",
+    "fct_slowdown",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,187 @@
+"""Measurement machinery: CDFs, RTT sampling, guarantee auditing.
+
+These produce exactly the quantities the paper's figures plot:
+bandwidth dissatisfaction ratio (Fig 11d, 17a), RTT distributions
+(Fig 4, 12b, 16b, 17b), queue-length CDFs (Fig 11e) and FCT slowdown
+(Fig 17c/d).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.network import Network
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """p-th percentile (p in [0, 100]) with linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(data) - 1)
+    frac = rank - low
+    return data[low] * (1 - frac) + data[high] * frac
+
+
+class Cdf:
+    """Collect samples; query percentiles and CDF points."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        self.samples.extend(values)
+
+    def p(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    def points(self, n: int = 100) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting."""
+        if not self.samples:
+            return []
+        data = sorted(self.samples)
+        out = []
+        for i in range(n + 1):
+            idx = min(len(data) - 1, int(i / n * (len(data) - 1)))
+            out.append((data[idx], (idx + 1) / len(data)))
+        return out
+
+    def fraction_above(self, threshold: float) -> float:
+        data = sorted(self.samples)
+        idx = bisect.bisect_right(data, threshold)
+        return 1.0 - idx / len(data) if data else 0.0
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class RttSampler:
+    """Periodically samples the end-to-end RTT of given VM-pairs.
+
+    The RTT is the instantaneous round-trip delay of the pair's current
+    path (propagation plus both directions' queuing) — what a data
+    packet issued now would experience.
+    """
+
+    def __init__(self, network: Network, pair_ids: Sequence[str], period: float) -> None:
+        self.network = network
+        self.pair_ids = list(pair_ids)
+        self.period = period
+        self.rtts = Cdf()
+        self.series: List[Tuple[float, float]] = []  # (t, max rtt this tick)
+
+    def start(self, until: float) -> None:
+        def tick() -> None:
+            now = self.network.sim.now
+            worst = 0.0
+            for pid in self.pair_ids:
+                if pid not in self.network.pairs:
+                    continue
+                path = self.network.path_of(pid)
+                rtt = self.network.path_rtt(path)
+                self.rtts.add(rtt)
+                worst = max(worst, rtt)
+            self.series.append((now, worst))
+            if now + self.period <= until:
+                self.network.sim.schedule(self.period, tick)
+
+        self.network.sim.schedule(0.0, tick)
+
+
+class GuaranteeAuditor:
+    """Tracks bandwidth dissatisfaction: guarantee violations over time.
+
+    Every ``period`` it records, per pair, ``delivered`` and
+    ``entitled = min(guarantee, demand)``.  The paper's dissatisfaction
+    ratio (Fig 11d) is the violated volume over the total entitled
+    volume; we also expose the instantaneous dissatisfied share.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        guarantees: Dict[str, float],
+        period: float,
+        demand_of: Optional[Callable[[str], float]] = None,
+    ) -> None:
+        self.network = network
+        self.guarantees = dict(guarantees)
+        self.period = period
+        self.demand_of = demand_of
+        self.violated_volume = 0.0
+        self.entitled_volume = 0.0
+        self.delivered_volume = 0.0
+        self.series: List[Tuple[float, float]] = []  # (t, instant ratio)
+
+    def start(self, until: float) -> None:
+        def tick() -> None:
+            now = self.network.sim.now
+            violated = 0.0
+            entitled_total = 0.0
+            for pid, guarantee in self.guarantees.items():
+                if pid not in self.network.pairs:
+                    continue
+                pair = self.network.pairs[pid]
+                if not pair.has_demand():
+                    continue
+                demand = (
+                    self.demand_of(pid) if self.demand_of is not None else pair.demand_bps
+                )
+                entitled = min(guarantee, demand)
+                delivered = self.network.delivered_rate(pid)
+                self.delivered_volume += delivered * self.period
+                entitled_total += entitled
+                violated += max(0.0, entitled - delivered)
+            self.violated_volume += violated * self.period
+            self.entitled_volume += entitled_total * self.period
+            ratio = violated / entitled_total if entitled_total > 0 else 0.0
+            self.series.append((now, ratio))
+            if now + self.period <= until:
+                self.network.sim.schedule(self.period, tick)
+
+        self.network.sim.schedule(0.0, tick)
+
+    @property
+    def dissatisfaction_ratio(self) -> float:
+        """Violated volume over entitled volume (the Fig 11d/17a metric)."""
+        if self.entitled_volume <= 0:
+            return 0.0
+        return self.violated_volume / self.entitled_volume
+
+
+class QueueSampler:
+    """Samples queue lengths of selected links (Fig 11e queue CDF)."""
+
+    def __init__(self, network: Network, link_names: Sequence[str], period: float) -> None:
+        self.network = network
+        self.links = [network.topology.links[name] for name in link_names]
+        self.period = period
+        self.queue_bits = Cdf()
+
+    def start(self, until: float) -> None:
+        def tick() -> None:
+            now = self.network.sim.now
+            for link in self.links:
+                self.queue_bits.add(link.queue_bits(now))
+            if now + self.period <= until:
+                self.network.sim.schedule(self.period, tick)
+
+        self.network.sim.schedule(0.0, tick)
+
+
+def fct_slowdown(fct: float, size_bits: float, guarantee_bps: float) -> float:
+    """Actual FCT normalized by the expected FCT under the hose
+    guarantee (footnote 7): size / guarantee."""
+    if size_bits <= 0 or guarantee_bps <= 0:
+        raise ValueError("size and guarantee must be positive")
+    expected = size_bits / guarantee_bps
+    return fct / expected if expected > 0 else float("inf")

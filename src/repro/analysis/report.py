@@ -1,0 +1,53 @@
+"""Paper-style table and series formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width text table with a title line."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    x_label: str = "t",
+    y_label: str = "value",
+    max_points: int = 12,
+) -> str:
+    """Downsampled time-series summary for console output."""
+    lines = [f"{title}  ({x_label} -> {y_label})"]
+    for name, points in series.items():
+        if not points:
+            lines.append(f"  {name}: (no data)")
+            continue
+        step = max(1, len(points) // max_points)
+        shown = points[::step]
+        rendered = ", ".join(f"{x:.4g}:{y:.4g}" for x, y in shown)
+        lines.append(f"  {name}: {rendered}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)

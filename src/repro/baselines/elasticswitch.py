@@ -1,0 +1,51 @@
+"""ElasticSwitch [45]: Guarantee Partitioning + Rate Allocation.
+
+GP (the token split) is shared with uFAB (Appendix E reuses its idea);
+what differs is RA: a TCP-like probe for spare bandwidth whose rate
+never drops below the guarantee.  That floor is what Figure 11c/e blames
+for persistent queueing — "it uses the minimum bandwidth as a lower
+bound of sending rate, even if the network is congested".
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselinePair, RateController
+
+MTU_BITS = 1500 * 8
+
+
+class ElasticSwitchRA(RateController):
+    """Rate Allocation: hold the guarantee, probe above it TCP-style."""
+
+    def __init__(
+        self,
+        congestion_factor: float = 1.5,
+        beta: float = 0.5,
+        increase_fraction: float = 0.1,
+    ) -> None:
+        # Congestion is inferred from delay (stand-in for the ECN marks
+        # ElasticSwitch uses): rtt above factor * baseRTT means congested.
+        self.congestion_factor = congestion_factor
+        self.beta = beta
+        self.increase_fraction = increase_fraction
+
+    def initial_rate(self, pair: BaselinePair) -> float:
+        pair.state["rate"] = pair.guarantee()
+        return pair.state["rate"]
+
+    def on_feedback(self, pair: BaselinePair, rtt: float, delivered: float) -> float:
+        rate = pair.state["rate"]
+        guarantee = pair.guarantee()
+        congested = rtt > self.congestion_factor * pair.base_rtt()
+        if congested:
+            # Decrease toward, but never below, the guarantee.
+            rate = max(guarantee, rate * (1.0 - self.beta))
+        else:
+            # Probe for spare bandwidth: increase a fraction of the
+            # guarantee per RTT (headroom-probing like RA's rate increase).
+            rate += max(self.increase_fraction * guarantee, MTU_BITS / max(rtt, 1e-9))
+        pair.state["rate"] = rate
+        return rate
+
+    def on_path_change(self, pair: BaselinePair) -> None:
+        pair.state["rate"] = max(pair.guarantee(), pair.state.get("rate", 0.0) * 0.5)

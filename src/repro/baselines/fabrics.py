@@ -1,0 +1,105 @@
+"""Ready-made scheme combinations used throughout the evaluation.
+
+The paper compares uFAB against two combinations (section 5.1):
+
+* **PWC** = PicNIC' + WCC + Clove: receiver-driven edge envelopes, a
+  Swift-based weighted congestion control, and flowlet/utilization load
+  balancing.
+* **ES+Clove** = ElasticSwitch (GP + RA) with Clove load balancing.
+
+``make_fabric`` also builds uFAB and uFAB' (without the bounded-latency
+optimization) so experiments can iterate over scheme names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import BaselineFabric
+from repro.baselines.clove import CloveSelector
+from repro.baselines.ecmp import EcmpSelector
+from repro.baselines.elasticswitch import ElasticSwitchRA
+from repro.baselines.picnic import ReceiverGrants
+from repro.baselines.wcc import SwiftWCC
+from repro.core.edge import UFabFabric, install_ufab
+from repro.core.params import UFabParams
+from repro.sim.network import Network
+
+
+def PWCFabric(
+    network: Network,
+    params: Optional[UFabParams] = None,
+    seed: int = 1,
+    flowlet_gap_s: float = 200e-6,
+) -> BaselineFabric:
+    """PicNIC' + WCC + Clove."""
+    params = params or UFabParams()
+    grants = ReceiverGrants(network, params)
+    return BaselineFabric(
+        network,
+        rate_controller_factory=SwiftWCC,
+        path_selector_factory=lambda: CloveSelector(flowlet_gap_s=flowlet_gap_s),
+        params=params,
+        seed=seed,
+        grants=grants,
+    )
+
+
+def ESCloveFabric(
+    network: Network,
+    params: Optional[UFabParams] = None,
+    seed: int = 1,
+    flowlet_gap_s: float = 200e-6,
+) -> BaselineFabric:
+    """ElasticSwitch + Clove."""
+    return BaselineFabric(
+        network,
+        rate_controller_factory=ElasticSwitchRA,
+        path_selector_factory=lambda: CloveSelector(flowlet_gap_s=flowlet_gap_s),
+        params=params,
+        seed=seed,
+    )
+
+
+def WccEcmpFabric(
+    network: Network,
+    params: Optional[UFabParams] = None,
+    seed: int = 1,
+    polarized: bool = False,
+) -> BaselineFabric:
+    """Plain WCC over (optionally polarized) ECMP — the production
+    best-effort stack of section 2.1, used for the motivation figures."""
+    return BaselineFabric(
+        network,
+        rate_controller_factory=SwiftWCC,
+        path_selector_factory=lambda: EcmpSelector(polarized=polarized),
+        params=params,
+        seed=seed,
+    )
+
+
+SCHEME_NAMES = ("ufab", "ufab-prime", "pwc", "es+clove")
+
+
+def make_fabric(
+    name: str,
+    network: Network,
+    params: Optional[UFabParams] = None,
+    seed: int = 1,
+    flowlet_gap_s: float = 200e-6,
+):
+    """Build a fabric by scheme name; all expose add_pair/remove_pair."""
+    params = params or UFabParams()
+    if name == "ufab":
+        return install_ufab(network, params, seed)
+    if name == "ufab-prime":
+        return install_ufab(network, params.replace(two_stage_admission=False), seed)
+    if name == "pwc":
+        return PWCFabric(network, params, seed, flowlet_gap_s)
+    if name == "es+clove":
+        return ESCloveFabric(network, params, seed, flowlet_gap_s)
+    if name == "wcc+ecmp":
+        return WccEcmpFabric(network, params, seed)
+    if name == "wcc+ecmp-polarized":
+        return WccEcmpFabric(network, params, seed, polarized=True)
+    raise ValueError(f"unknown scheme {name!r}")

@@ -1,0 +1,109 @@
+"""PicNIC' — the paper's reduction of PicNIC [37] to its bandwidth
+envelope: sender-side weighted fair queues plus receiver-driven
+admission, similar to EyeQ [29].
+
+The receiver grants each incoming VM-pair a share of its own NIC
+capacity, weighted by tokens and work-conserving over idle demand.  The
+crucial limitation reproduced here: grants reflect only the *receiver
+edge*; fabric congestion is invisible, so PicNIC' "cannot address fabric
+congestion" (section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.base import BaselinePair, RateController
+from repro.core.params import UFabParams
+from repro.sim.host import VMPair
+from repro.sim.network import Network
+
+
+class ReceiverGrants:
+    """Receiver-driven admission: per-destination-host rate grants."""
+
+    def __init__(self, network: Network, params: UFabParams, period_s: float = 50e-6) -> None:
+        self.network = network
+        self.params = params
+        self.period_s = period_s
+        self._incoming: Dict[str, List[VMPair]] = {}
+        self._grants: Dict[str, float] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def register(self, pair: VMPair) -> None:
+        self._incoming.setdefault(pair.dst_host, []).append(pair)
+        self._grants[pair.pair_id] = self._nic_capacity(pair.dst_host)
+        if not self._started:
+            self._started = True
+            self.network.sim.schedule(self.period_s, self._tick)
+
+    def unregister(self, pair: VMPair) -> None:
+        self._incoming.get(pair.dst_host, []).remove(pair)
+        self._grants.pop(pair.pair_id, None)
+
+    def grant(self, pair: VMPair) -> float:
+        return self._grants.get(pair.pair_id, float("inf"))
+
+    # ------------------------------------------------------------------
+    def _nic_capacity(self, host: str) -> float:
+        links = self.network.topology.out_links(host)
+        capacity = min(l.capacity for l in links) if links else 0.0
+        return self.params.target_capacity(capacity)
+
+    def _tick(self) -> None:
+        for host, pairs in self._incoming.items():
+            if pairs:
+                self._recompute_host(host, pairs)
+        self.network.sim.schedule(self.period_s, self._tick)
+
+    def _recompute_host(self, host: str, pairs: List[VMPair]) -> None:
+        """Weighted fair grants with work conservation over idle demand.
+
+        Demand is estimated from observed delivered rate (with headroom
+        to let senders grow), exactly the kind of end-to-end inference
+        PicNIC-style systems use.
+        """
+        capacity = self._nic_capacity(host)
+        demands = {}
+        for pair in pairs:
+            delivered = self.network.delivered_rate(pair.pair_id)
+            demands[pair.pair_id] = 1.25 * delivered + 0.02 * capacity
+        # Weighted max-min water-filling over demand caps.
+        active = list(pairs)
+        remaining = capacity
+        grants: Dict[str, float] = {}
+        while active:
+            total_weight = sum(p.phi for p in active) or 1.0
+            level = remaining / total_weight
+            bounded = [p for p in active if demands[p.pair_id] < level * p.phi]
+            if not bounded:
+                for p in active:
+                    grants[p.pair_id] = level * p.phi
+                break
+            for p in bounded:
+                grants[p.pair_id] = demands[p.pair_id]
+                remaining -= demands[p.pair_id]
+                active.remove(p)
+            remaining = max(remaining, 0.0)
+        self._grants.update(grants)
+
+
+class PicNicPrime(RateController):
+    """Sender side of PicNIC': ramp toward the receiver grant.
+
+    The grant itself is enforced in :meth:`BaselineFabric.grant_for`;
+    this controller supplies the work-conserving ramp between grant
+    updates.  It is combined with WCC in the PWC fabric (the paper's
+    PicNIC'+WCC+Clove), where the effective rate is the min of both.
+    """
+
+    def __init__(self, ramp_factor: float = 1.5) -> None:
+        self.ramp_factor = ramp_factor
+
+    def initial_rate(self, pair: BaselinePair) -> float:
+        return pair.guarantee()
+
+    def on_feedback(self, pair: BaselinePair, rtt: float, delivered: float) -> float:
+        # Grow multiplicatively; the receiver grant clips the excess.
+        return max(pair.guarantee(), delivered * self.ramp_factor)

@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate any figure from a terminal.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig4 --duration 0.02
+    python -m repro fig11 --schemes ufab pwc
+    python -m repro case2
+    python -m repro tables
+
+Each subcommand maps onto one experiment runner and prints the same
+paper-style rows the benchmark suite produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+
+
+def _fig4(args) -> None:
+    from repro.experiments import case1_incast
+
+    results = case1_incast.run(
+        degrees=tuple(args.degrees),
+        schemes=tuple(args.schemes or ("pwc", "ufab")),
+        duration=args.duration,
+    )
+    rows = [
+        [r.scheme, r.degree, f"{r.median * 1e6:.0f}", f"{r.p99 * 1e6:.0f}",
+         f"{r.p999 * 1e6:.0f}"]
+        for r in results
+    ]
+    print(format_table("Figure 4: incast RTT (us)",
+                       ["scheme", "N", "p50", "p99", "p99.9"], rows))
+
+
+def _case2(args) -> None:
+    from repro.experiments import case2_migration
+
+    for r in case2_migration.run(duration=args.duration):
+        label = r.scheme if r.flowlet_gap_s is None else (
+            f"{r.scheme}@{r.flowlet_gap_s * 1e6:.0f}us"
+        )
+        print(f"{label:14s} F1 satisfied: {r.f1_satisfied_after_join}  "
+              f"F4 satisfied: {r.f4_satisfied_after_join}  "
+              f"F4 migrations: {r.migrations_f4}")
+
+
+def _fig11(args) -> None:
+    from repro.experiments import fig11_guarantee
+
+    results = fig11_guarantee.run(
+        schemes=tuple(args.schemes or ("ufab", "pwc", "es+clove")),
+        duration=args.duration,
+    )
+    rows = [
+        [r.scheme, f"{100 * r.dissatisfaction_ratio:.1f}%",
+         f"{r.queue_cdf.p(99) / 8e3:.0f} KB"]
+        for r in results
+    ]
+    print(format_table("Figure 11: dissatisfaction / queue p99",
+                       ["scheme", "dissatisfaction", "queue p99"], rows))
+
+
+def _fig12(args) -> None:
+    from repro.experiments import fig12_incast
+
+    results = fig12_incast.run(duration=args.duration)
+    rows = [
+        [r.scheme, f"{r.p50 * 1e6:.0f}", f"{r.p99 * 1e6:.0f}",
+         f"{r.max_rtt * 1e6:.0f}"]
+        for r in results
+    ]
+    print(format_table("Figure 12: 14-to-1 incast RTT (us)",
+                       ["scheme", "p50", "p99", "max"], rows))
+
+
+def _fig16(args) -> None:
+    from repro.experiments import fig16_dynamic
+
+    results = fig16_dynamic.run(duration=args.duration)
+    rows = [
+        [r.scheme, f"{r.mean_utilization_overload:.2f}",
+         f"{r.p99 * 1e6:.0f}", f"{r.max_rtt * 1e6:.0f}"]
+        for r in results
+    ]
+    print(format_table("Figure 16: 90-to-1 dynamic workload",
+                       ["scheme", "util", "RTT p99 (us)", "RTT max (us)"], rows))
+
+
+def _tables(args) -> None:
+    from repro.resources.model import FpgaResourceModel, TofinoResourceModel
+
+    fpga = FpgaResourceModel()
+    totals = fpga.totals()
+    print(format_table(
+        "Table 3: uFAB-E totals (Alveo U200)",
+        ["LUT", "Registers", "BRAM", "URAM"],
+        [[f"{totals[k]:.1f}%" for k in ("LUT", "Registers", "BRAM", "URAM")]],
+    ))
+    print()
+    models = [TofinoResourceModel(n) for n in (20_000, 40_000, 80_000)]
+    kinds = sorted(models[0].usage())
+    rows = [[k] + [f"{m.usage()[k]:.2f}%" for m in models] for k in kinds]
+    print(format_table("Table 4: uFAB-C (Tofino)",
+                       ["Resource", "20K", "40K", "80K"], rows))
+
+
+def _overhead(args) -> None:
+    from repro.resources.model import probing_overhead_curve
+
+    rows = [[n, f"{pct:.2f}%"] for n, pct in
+            probing_overhead_curve([1, 10, 100, 1000, 8192])]
+    print(format_table("Figure 15b: probing overhead", ["pairs", "overhead"], rows))
+
+
+COMMANDS: Dict[str, Dict] = {
+    "fig4": {"fn": _fig4, "help": "Case-1 incast RTT sweep", "duration": 0.02},
+    "case2": {"fn": _case2, "help": "Case-2 migration scenario", "duration": 0.16},
+    "fig11": {"fn": _fig11, "help": "guarantee + work conservation", "duration": 0.25},
+    "fig12": {"fn": _fig12, "help": "14-to-1 incast, 4 schemes", "duration": 0.04},
+    "fig16": {"fn": _fig16, "help": "90-to-1 dynamic workload", "duration": 0.02},
+    "tables": {"fn": _tables, "help": "Tables 3-4 resource models", "duration": 0.0},
+    "overhead": {"fn": _overhead, "help": "Figure 15b probing overhead", "duration": 0.0},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate uFAB (SIGCOMM'22) evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available figures")
+    for name, spec in COMMANDS.items():
+        p = sub.add_parser(name, help=spec["help"])
+        p.add_argument("--duration", type=float, default=spec["duration"],
+                       help="simulated seconds per run")
+        p.add_argument("--schemes", nargs="*", default=None,
+                       help="subset of schemes (where applicable)")
+        p.add_argument("--degrees", nargs="*", type=int,
+                       default=[2, 6, 10, 14], help="incast degrees (fig4)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available figures:")
+        for name, spec in COMMANDS.items():
+            print(f"  {name:10s} {spec['help']}")
+        print("\n(benchmarks/ regenerates everything: "
+              "pytest benchmarks/ --benchmark-only -s)")
+        return 0
+    COMMANDS[args.command]["fn"](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Counting Bloom filter — the switch register model of section 3.6.
+
+uFAB-C recognizes active VM-pairs with a 2-way-hash Bloom filter; a
+counting variant lets finish-probes remove entries ("the switches along
+the path can adjust Phi_l and W_l in the Bloom filter").  We keep
+counters rather than bits so removal is exact, and expose the
+false-positive behaviour the paper analyzes (omitted pairs make
+Phi_l / W_l under-estimates).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+
+class CountingBloomFilter:
+    """Counting Bloom filter with ``k`` independent hash functions."""
+
+    def __init__(self, n_counters: int = 20 * 1024, n_hashes: int = 2, seed: int = 0) -> None:
+        if n_counters <= 0 or n_hashes <= 0:
+            raise ValueError("n_counters and n_hashes must be positive")
+        self.n_counters = n_counters
+        self.n_hashes = n_hashes
+        self.seed = seed
+        self._counters: List[int] = [0] * n_counters
+        self.items = 0
+
+    # ------------------------------------------------------------------
+    def _indices(self, key: str) -> List[int]:
+        digest = hashlib.blake2b(
+            key.encode("utf-8"), digest_size=16, salt=self.seed.to_bytes(8, "little")
+        ).digest()
+        # Carve k independent 32-bit hashes out of the digest.
+        indices = []
+        for i in range(self.n_hashes):
+            chunk = digest[(4 * i) % 12 : (4 * i) % 12 + 4]
+            indices.append(int.from_bytes(chunk, "little") % self.n_counters)
+        return indices
+
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return all(self._counters[i] > 0 for i in self._indices(key))
+
+    def add(self, key: str) -> None:
+        for i in self._indices(key):
+            self._counters[i] += 1
+        self.items += 1
+
+    def remove(self, key: str) -> None:
+        """Remove one insertion of ``key``; no-op if counters are empty."""
+        indices = self._indices(key)
+        if all(self._counters[i] > 0 for i in indices):
+            for i in indices:
+                self._counters[i] -= 1
+            self.items = max(0, self.items - 1)
+
+    def clear(self) -> None:
+        self._counters = [0] * self.n_counters
+        self.items = 0
+
+    # ------------------------------------------------------------------
+    def false_positive_rate(self) -> float:
+        """Analytic FP estimate (1 - e^{-kn/m})^k for the current load."""
+        if self.items == 0:
+            return 0.0
+        import math
+
+        fill = 1.0 - math.exp(-self.n_hashes * self.items / self.n_counters)
+        return fill ** self.n_hashes
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return self.items

@@ -1,0 +1,163 @@
+"""uFAB-C: the informative core agent (sections 3.6 and 4.2).
+
+One :class:`CoreAgent` is attached to each egress port (directed link).
+It maintains the two demand-summary registers Phi_l (total active
+tokens) and W_l (total sending window), recognizes active VM-pairs with
+a counting Bloom filter, stamps INT records into passing probes, honors
+finish-probes, and periodically sweeps silently-inactive pairs.
+
+The Bloom filter's occasional false positive omits a pair from the
+registers, making Phi_l / W_l slight under-estimates — the exact
+behaviour section 3.6 analyzes (digested by the 5% capacity headroom).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.bloom import CountingBloomFilter
+from repro.core.params import UFabParams
+from repro.core.probe import HopRecord, ProbeHeader, ProbeKind
+from repro.sim.link import Link
+
+
+class CoreAgent:
+    """Per-egress-port switch agent."""
+
+    def __init__(self, link: Link, params: Optional[UFabParams] = None, bloom_seed: int = 0) -> None:
+        self.link = link
+        self.params = params or UFabParams()
+        self.phi_total = 0.0  # register: Phi_l
+        self.window_total = 0.0  # register: W_l
+        # pair_id -> (phi, window, last_seen).  The switch itself only
+        # holds the Bloom filter and the two registers; this table models
+        # the per-pair contributions those registers summarize so that
+        # deltas and finish-probes adjust them exactly.
+        self._table: Dict[str, Tuple[float, float, float]] = {}
+        # One counter per bit position of the paper's 20 KB filter
+        # (m/n ~ 8.2 at 20K pairs, k = 2 -> ~5% FP as section 4.2 states).
+        n_counters = max(64, self.params.bloom_bits)
+        self.bloom = CountingBloomFilter(
+            n_counters=n_counters, n_hashes=self.params.bloom_hashes, seed=bloom_seed
+        )
+        self.false_positives = 0
+        # TX-rate meter: real switches report tx_l from byte counters
+        # over an interval, not an instantaneous fluid rate.  Sampling
+        # the instant a probe passes is biased toward the prober's own
+        # bursts (inspection paradox) and freezes Eqn-3 below target
+        # utilization under bursty traffic.
+        self._tx_last_time = 0.0
+        self._tx_last_delivered = 0.0
+        self._tx_value = 0.0
+
+    # ------------------------------------------------------------------
+    # Probe path
+    # ------------------------------------------------------------------
+    def on_probe(self, header: ProbeHeader, now: float) -> None:
+        """Handle a forward probe: register demand, stamp INT."""
+        if header.kind == ProbeKind.PROBE:
+            self._register(header.pair_id, header.phi, header.window, now)
+        elif header.kind == ProbeKind.FINISH:
+            self.on_finish(header.pair_id)
+        self.stamp(header, now)
+
+    def _register(self, pair_id: str, phi: float, window: float, now: float) -> None:
+        entry = self._table.get(pair_id)
+        if entry is not None:
+            old_phi, old_window, _ = entry
+            self.phi_total += phi - old_phi
+            self.window_total += window - old_window
+            self._table[pair_id] = (phi, window, now)
+            return
+        if self.bloom.contains(pair_id):
+            # False positive: the pair looks already-seen, so its
+            # contribution is omitted (Phi_l, W_l under-estimate).
+            self.false_positives += 1
+            return
+        self.bloom.add(pair_id)
+        self._table[pair_id] = (phi, window, now)
+        self.phi_total += phi
+        self.window_total += window
+
+    # Time constant of the TX meter.  Long enough to average over the
+    # on/off cycle of bursty RPC traffic (otherwise probes, which are
+    # clocked by the prober's own bursts, oversample busy periods), short
+    # enough to track load shifts within a few control rounds.
+    TX_METER_TAU = 200e-6
+
+    def measured_tx(self, now: float) -> float:
+        """EWMA'd windowed TX rate from the port's byte counter."""
+        link = self.link
+        link.sync(now)
+        dt = now - self._tx_last_time
+        if dt >= 5e-6:  # refresh when enough bytes/time accumulated
+            sample = (link.delivered_bits - self._tx_last_delivered) / dt
+            alpha = dt / (dt + self.TX_METER_TAU)
+            self._tx_value += alpha * (sample - self._tx_value)
+            self._tx_last_time = now
+            self._tx_last_delivered = link.delivered_bits
+        elif self._tx_last_time == 0.0 and self._tx_last_delivered == 0.0:
+            self._tx_value = link.tx_rate(now)
+        return self._tx_value
+
+    def stamp(self, header: ProbeHeader, now: float) -> None:
+        """Insert this hop's INT record (Figure 9, step 2-3)."""
+        link = self.link
+        header.hops.append(
+            HopRecord(
+                window_total=self.window_total,
+                phi_total=self.phi_total,
+                tx_rate=self.measured_tx(now),
+                queue=link.queue_bits(now),
+                capacity=link.capacity,
+                link_name=link.name,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Deactivation
+    # ------------------------------------------------------------------
+    def on_finish(self, pair_id: str) -> bool:
+        """Finish probe: drop the pair's contribution.  Returns ack."""
+        entry = self._table.pop(pair_id, None)
+        if entry is None:
+            return True  # idempotent: already gone
+        phi, window, _ = entry
+        self.phi_total = max(0.0, self.phi_total - phi)
+        self.window_total = max(0.0, self.window_total - window)
+        self.bloom.remove(pair_id)
+        return True
+
+    def sweep(self, now: float) -> int:
+        """Remove silently-inactive pairs (no probe within the timeout).
+
+        Returns the number of entries cleaned (section 4.2: "periodically
+        cleans inactive items ... and decreases Phi_l and W_l").
+        """
+        timeout = self.params.silence_timeout_s
+        stale = [pid for pid, (_, _, seen) in self._table.items() if now - seen > timeout]
+        for pid in stale:
+            self.on_finish(pid)
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    def active_pairs(self) -> int:
+        return len(self._table)
+
+    def target_capacity(self) -> float:
+        return self.params.target_capacity(self.link.capacity)
+
+
+def attach_core_agents(topology, params: Optional[UFabParams] = None) -> Dict[str, CoreAgent]:
+    """Attach a CoreAgent to every link; returns name -> agent.
+
+    The paper deploys uFAB-C in switches; attaching to host egress links
+    too is equivalent to uFAB-E's local NIC admission and keeps the
+    telemetry model uniform.
+    """
+    agents: Dict[str, CoreAgent] = {}
+    for seed, (name, link) in enumerate(sorted(topology.links.items())):
+        agent = CoreAgent(link, params, bloom_seed=seed)
+        link.core_agent = agent
+        agents[name] = agent
+    return agents

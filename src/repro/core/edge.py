@@ -1,0 +1,730 @@
+"""uFAB-E: the active edge agent (sections 3.3-3.5, 4.1).
+
+Each host runs one :class:`EdgeAgent`; each VM-pair it originates is
+driven by a :class:`PairController` state machine:
+
+* JOINING - scout probes on all candidate paths, pick a qualified one;
+* RAMP    - two-stage admission: bootstrap at the guarantee window and
+            additively increase until the Eqn-3 window takes over;
+* STABLE  - per-RTT window control from INT feedback (Eqns 1-3);
+* IDLE    - demand gone: finish-probes retire the pair's registers.
+
+Migration policy: 5 consecutive violating RTTs (or probe loss) trigger
+a guarantee migration; a persistently better qualified path triggers a
+(much rarer) work-conservation migration.  Host-level freeze windows of
+U[1, N] RTTs prevent synchronized oscillation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.admission import (
+    additive_increment,
+    bootstrap_window,
+    proportional_share,
+    window_entitlement,
+    window_for_link,
+)
+from repro.core.corenode import CoreAgent, attach_core_agents
+from repro.core.params import UFabParams
+from repro.core.pathsel import PathBook, summarize_path
+from repro.core.probe import ProbeHeader, ProbeKind
+from repro.sim.engine import Event
+from repro.sim.host import VMPair
+from repro.sim.network import Network
+from repro.sim.topology import Path
+
+# Kind value for read-only candidate probes: they stamp INT but do not
+# register the pair in Phi_l / W_l (otherwise scouting would subscribe
+# bandwidth on paths the pair never joins).  Not part of Figure 22.
+SCOUT = ProbeKind.FAILURE  # reuse a spare code internally; never serialized
+
+
+class PairState(enum.Enum):
+    JOINING = "joining"
+    RAMP = "ramp"
+    STABLE = "stable"
+    IDLE = "idle"
+
+
+class PairController:
+    """Per-VM-pair control loop at the source edge."""
+
+    def __init__(
+        self,
+        agent: "EdgeAgent",
+        pair: VMPair,
+        candidates: List[Path],
+    ) -> None:
+        self.agent = agent
+        self.pair = pair
+        self.params = agent.params
+        self.network = agent.network
+        self.book = PathBook(candidates)
+        self.current_idx = 0
+        self.state = PairState.JOINING
+        self.window = 0.0
+        # What probes report as w^l_{a->b}: the entitlement, so W_l at
+        # the core reflects allowances (see admission.window_entitlement).
+        self.report_window = 0.0
+        self.w_prime = 0.0
+        self.rtt_est = self.base_rtt(0)
+        self.phi_receiver = math.inf
+        self.violation_rounds = 0
+        self.idle_rounds = 0
+        self.seq = 0
+        self.consecutive_losses = 0
+        self._probe_event: Optional[Event] = None
+        self._timeout_event: Optional[Event] = None
+        self._last_hops = None
+        self._was_limited = False
+        self._limited_rounds = 0
+        self._desperate_rounds = 0
+        self._idle_since = None
+        self._migrations = 0
+        self._better_since: Optional[float] = None
+        self._registered_paths: set = set()
+        # Instrumentation for figures.
+        self.stats = {
+            "migrations": 0,
+            "probes_sent": 0,
+            "probe_losses": 0,
+            "violating_time": 0.0,
+        }
+        self._last_violation_check = agent.network.sim.now
+        self._last_feedback_at = agent.network.sim.now
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def path(self, idx: Optional[int] = None) -> Path:
+        return self.book.candidates[self.current_idx if idx is None else idx]
+
+    def base_rtt(self, idx: Optional[int] = None) -> float:
+        return self.network.topology.base_rtt(self.path(idx))
+
+    def phi(self) -> float:
+        """Effective token: sender assignment bounded by receiver admission."""
+        return min(self.pair.phi, self.phi_receiver)
+
+    def guarantee(self) -> float:
+        return self.phi() * self.params.unit_bandwidth
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Join: scout every candidate, then pick a path and ramp."""
+        self.state = PairState.JOINING
+        pending = len(self.book.candidates)
+        results: Dict[int, bool] = {}
+
+        def scouted(idx: int, ok: bool) -> None:
+            nonlocal pending
+            results[idx] = ok
+            pending -= 1
+            if pending == 0:
+                self._finish_join()
+
+        for idx in range(len(self.book.candidates)):
+            self._send_scout(idx, scouted)
+
+    def _finish_join(self) -> None:
+        choice = self.book.select_initial(self.phi(), self.params, self.agent.rng)
+        if choice is None:
+            choice = self.book.best_fallback(self.agent.rng)
+        if choice != self.current_idx:
+            self.current_idx = choice
+            self.network.migrate_pair(self.pair.pair_id, self.path())
+        self._enter_ramp(bootstrap=True)
+        self._send_data_probe()
+
+    def _enter_ramp(self, bootstrap: bool) -> None:
+        """Scenario-1 (new pair) or Scenario-2 (existing, resumed/migrated)."""
+        t = self.base_rtt()
+        if bootstrap:
+            self.rtt_est = t
+        # Scenario-2 keeps the learned RTT estimate: resetting it to the
+        # base RTT mid-congestion would shrink probe timeouts below the
+        # actual response time and spiral into loss-driven migrations.
+        if bootstrap or self.book.quality[self.current_idx] is None:
+            self.w_prime = bootstrap_window(self.phi(), self.params.unit_bandwidth, t)
+        else:
+            share = self.book.quality[self.current_idx].share_rate
+            self.w_prime = max(
+                share * t, bootstrap_window(self.phi(), self.params.unit_bandwidth, t)
+            )
+        if self.params.two_stage_admission:
+            self.state = PairState.RAMP
+            self.window = self.w_prime
+            self.report_window = self.w_prime
+        else:
+            # uFAB': no bounded-latency optimization — jump straight to
+            # the utilization window (unbounded incast bursts, Fig 12).
+            self.state = PairState.STABLE
+            if self._last_hops is not None:
+                self.window, self.report_window, _ = self._window_from_hops(self._last_hops)
+            else:
+                self.window = self.w_prime
+                self.report_window = self.w_prime
+        self._apply_window()
+
+    def stop(self) -> None:
+        """Tear the pair down (experiment-driven removal)."""
+        self._cancel_timers()
+        if self.state != PairState.IDLE:
+            self._send_finish()
+        self.state = PairState.IDLE
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def _make_header(self, kind: ProbeKind) -> ProbeHeader:
+        self.seq += 1
+        return ProbeHeader(
+            kind=kind,
+            pair_id=self.pair.pair_id,
+            phi=self.phi(),
+            window=self.report_window,
+            seq=self.seq,
+        )
+
+    def _send_scout(self, idx: int, done: Callable[[int, bool], None]) -> None:
+        """Read-only probe on candidate ``idx`` (join / migration scouting)."""
+        header = self._make_header(SCOUT)
+        sent_at = self.sim.now
+        path = self.path(idx)
+        timeout_ev: List[Optional[Event]] = [None]
+
+        def on_hop(payload: ProbeHeader, link, now: float) -> None:
+            agent: Optional[CoreAgent] = link.core_agent
+            if agent is not None:
+                agent.stamp(payload, now)
+
+        def on_response(hdr: ProbeHeader, now: float) -> None:
+            if timeout_ev[0] is not None:
+                timeout_ev[0].cancel()
+            quality = summarize_path(hdr.hops, self.phi(), now - sent_at, now, self.params)
+            self.book.record(idx, quality)
+            done(idx, True)
+
+        def on_timeout() -> None:
+            self.book.mark_failed(idx)
+            done(idx, False)
+
+        timeout_ev[0] = self.sim.schedule(
+            self.params.probe_timeout_rtts * max(self.base_rtt(idx), self.rtt_est),
+            on_timeout,
+        )
+        self.stats["probes_sent"] += 1
+        self.agent.launch_probe(self.pair, path, header, on_hop, on_response)
+
+    def _send_data_probe(self) -> None:
+        """The self-clocked control probe on the current path."""
+        if self.state == PairState.IDLE:
+            return
+        idx = self.current_idx
+        header = self._make_header(ProbeKind.PROBE)
+        sent_at = self.sim.now
+        self._registered_paths.add(idx)
+
+        def on_hop(payload: ProbeHeader, link, now: float) -> None:
+            agent: Optional[CoreAgent] = link.core_agent
+            if agent is not None:
+                agent.on_probe(payload, now)
+
+        def on_response(hdr: ProbeHeader, now: float) -> None:
+            if self._timeout_event is not None:
+                self._timeout_event.cancel()
+                self._timeout_event = None
+            self.consecutive_losses = 0
+            if idx != self.current_idx or self.state == PairState.IDLE:
+                return  # stale response from before a migration
+            self._on_feedback(hdr, now, now - sent_at)
+
+        # Timeout scales with the RTT estimate: during a transient breach
+        # of the latency bound probes are late, not lost, and declaring
+        # them lost would freeze the control loop mid-congestion.
+        timeout = self.params.probe_timeout_rtts * max(self.base_rtt(idx), self.rtt_est)
+        self._timeout_event = self.sim.schedule(timeout, self._on_probe_loss)
+        self.stats["probes_sent"] += 1
+        self.agent.launch_probe(self.pair, self.path(idx), header, on_hop, on_response)
+
+    def _on_probe_loss(self) -> None:
+        self._timeout_event = None
+        self.stats["probe_losses"] += 1
+        self.consecutive_losses += 1
+        if self.state == PairState.IDLE:
+            return
+        # Emergency brake: without feedback, a real windowed sender runs
+        # out of inflight allowance; halve the window before retrying.
+        self.window *= 0.5
+        self.rtt_est *= 1.5
+        self._apply_window()
+        if self.consecutive_losses >= 2:
+            # Path is likely dead (e.g. switch failure): migrate now.
+            self.book.mark_failed(self.current_idx)
+            self._migrate(reason="failure", force=True)
+        else:
+            self._send_data_probe()
+
+    def _send_finish(self) -> None:
+        """Finish probe: retire this pair's registers along active paths."""
+        for idx in list(self._registered_paths):
+            header = self._make_header(ProbeKind.FINISH)
+
+            def on_hop(payload: ProbeHeader, link, now: float) -> None:
+                agent: Optional[CoreAgent] = link.core_agent
+                if agent is not None:
+                    agent.on_probe(payload, now)
+
+            self.agent.launch_probe(self.pair, self.path(idx), header, on_hop, None)
+        self._registered_paths.clear()
+
+    # ------------------------------------------------------------------
+    # Control law
+    # ------------------------------------------------------------------
+    def _window_from_hops(self, hops) -> Tuple[float, float, float]:
+        """Min over hops of (eqn3 applied window, entitlement, increment)."""
+        t = self.base_rtt()
+        phi = self.phi()
+        window = math.inf
+        entitlement = math.inf
+        increment = math.inf
+        floor = math.inf
+        for hop in hops:
+            c_target = self.params.target_capacity(hop.capacity)
+            ent = window_entitlement(
+                phi, hop.phi_total, hop.window_total, c_target,
+                hop.tx_rate, hop.queue, t,
+            )
+            entitlement = min(entitlement, ent)
+            window = min(window, ent, c_target * t)
+            increment = min(increment, additive_increment(phi, hop.phi_total, c_target, t))
+            floor = min(floor, proportional_share(phi, hop.phi_total, c_target) * t)
+        # "Senders should use r_{a->b} as a lower bound" (section 3.3):
+        # the Eqn-1 proportional share floors the window, so a pair on a
+        # qualified path always commands its guarantee even while the
+        # aggregate W_l is still ramping.
+        window = max(window, floor)
+        entitlement = max(entitlement, floor)
+        return window, entitlement, increment
+
+    def _on_feedback(self, header: ProbeHeader, now: float, rtt: float) -> None:
+        self._last_feedback_at = now
+        self.rtt_est = 0.5 * self.rtt_est + 0.5 * rtt
+        if header.phi_receiver is not None:
+            self.phi_receiver = header.phi_receiver
+        quality = summarize_path(header.hops, self.phi(), rtt, now, self.params)
+        self.book.record(self.current_idx, quality)
+        self._last_hops = header.hops
+
+        # Scenario-2 (section 3.4): a pair whose demand stayed well below
+        # its allowance must re-ramp from w' = r * T when demand resumes,
+        # instead of bursting its inflated work-conservation window.
+        # "Well below, persistently": a busy RPC pair with momentary
+        # queue-empty gaps must not be knocked back on every message.
+        allowance = self.window / max(self.rtt_est, 1e-9)
+        deeply_limited = self.pair.has_demand() and self.pair.send_rate < 0.5 * allowance
+        if deeply_limited:
+            self._limited_rounds += 1
+        else:
+            if self._was_limited and self.state == PairState.STABLE and self.pair.has_demand():
+                self._was_limited = False
+                self._limited_rounds = 0
+                self._enter_ramp(bootstrap=False)
+                self._schedule_next_probe(now)
+                return
+            self._limited_rounds = 0
+        self._was_limited = self._limited_rounds >= 3
+
+        w_eqn3, entitlement, increment = self._window_from_hops(header.hops)
+        if self.params.explicit_rate_only:
+            # Ablation: pure Eqn-1 proportional share (weighted-RCP-like
+            # explicit allocation) — no utilization/queue feedback.
+            t = self.base_rtt()
+            phi = self.phi()
+            share = math.inf
+            for hop in header.hops:
+                c_target = self.params.target_capacity(hop.capacity)
+                share = min(share, proportional_share(phi, hop.phi_total, c_target))
+            self.state = PairState.STABLE
+            self.window = share * t
+            self.report_window = self.window
+            self._apply_window()
+            self._track_violation(
+                summarize_path(header.hops, phi, rtt, now, self.params), now
+            )
+            self._schedule_next_probe(now)
+            return
+        if self.state == PairState.RAMP:
+            if self.w_prime > w_eqn3:
+                self.state = PairState.STABLE
+                self.window = w_eqn3
+                self.report_window = entitlement
+            elif self.pair.send_rate < 0.9 * self.window / max(self.rtt_est, 1e-9):
+                # Compare demand against the *applied* window (send_rate
+                # lags w' by one round during additive growth; comparing
+                # against w' would flag every ramping pair as limited).
+                # The ramp has reached the pair's demand: it is done.
+                # Switching to the Eqn-3 window (a) reports the inflating
+                # entitlement so work conservation still lifts W_l, and
+                # (b) avoids banking an unbounded ramp window that would
+                # burst when demand returns (Scenario-2 re-ramps then).
+                self.state = PairState.STABLE
+                self.window = w_eqn3
+                self.report_window = entitlement
+            else:
+                self.window = self.w_prime
+                self.report_window = self.w_prime
+                self.w_prime += increment
+        else:
+            self.window = w_eqn3
+            self.report_window = entitlement
+        self._apply_window()
+
+        self._track_violation(quality, now)
+        self._maybe_work_conserving_migration(quality, now)
+        self._schedule_next_probe(now)
+
+    def _apply_window(self) -> None:
+        rate = self.window / max(self.rtt_est, 1e-9)
+        self.network.set_pair_rate(self.pair.pair_id, rate)
+
+    # ------------------------------------------------------------------
+    # Violation tracking and migration triggers
+    # ------------------------------------------------------------------
+    def _track_violation(self, quality, now: float) -> None:
+        if not self.pair.has_demand():
+            if self._idle_since is None:
+                self._idle_since = now
+            elif now - self._idle_since >= self.params.idle_timeout_s:
+                self._go_idle()
+            return
+        self._idle_since = None
+
+        tol = self.params.guarantee_tolerance
+        delivered = self.network.delivered_rate(self.pair.pair_id)
+        demand = self.pair.demand_bps
+        entitled = min(self.guarantee(), demand)
+        unqualified = not quality.qualified_for(
+            self.phi(), self.params.unit_bandwidth, already_on=True
+        )
+        violated = unqualified or delivered < entitled * (1.0 - tol)
+        if violated:
+            self.violation_rounds += 1
+            self.stats["violating_time"] += now - self._last_violation_check
+        else:
+            self.violation_rounds = 0
+        self._last_violation_check = now
+        if self.violation_rounds >= self.params.violation_monitor_rtts:
+            self._migrate(reason="guarantee")
+
+    def _maybe_work_conserving_migration(self, quality, now: float) -> None:
+        """Trigger (ii): persistently better qualified path (30 s default)."""
+        best = self.book.select_for_work_conservation(self.phi(), self.params, self.current_idx)
+        if best is None:
+            self._better_since = None
+            return
+        gain = self.params.wc_migration_gain
+        if self.book.quality[best].wc_rate > quality.wc_rate * gain:
+            if self._better_since is None:
+                self._better_since = now
+            elif now - self._better_since >= self.params.wc_migration_observe_s:
+                self._better_since = None
+                self._migrate(reason="work-conservation", target=best)
+        else:
+            self._better_since = None
+
+    def _migrate(self, reason: str, force: bool = False, target: Optional[int] = None) -> None:
+        now = self.sim.now
+        if not force and now < self.agent.freeze_until:
+            # One migration per freeze window per host (section 3.5).
+            self.violation_rounds = self.params.violation_monitor_rtts - 1
+            return
+        pending = len(self.book.candidates)
+        scouted = [0]
+
+        def after_scout(idx: int, ok: bool) -> None:
+            scouted[0] += 1
+            if scouted[0] == pending:
+                self._complete_migration(reason, target)
+
+        for idx in range(len(self.book.candidates)):
+            if idx == self.current_idx:
+                scouted[0] += 1
+                if scouted[0] == pending:
+                    self._complete_migration(reason, target)
+                continue
+            self._send_scout(idx, after_scout)
+
+    def _complete_migration(self, reason: str, target: Optional[int]) -> None:
+        if self.state == PairState.IDLE:
+            return
+        choice = target
+        if choice is None:
+            choice = self.book.select_initial(
+                self.phi(), self.params, self.agent.rng, exclude=self.current_idx
+            )
+        if choice is None:
+            if self.book.failed[self.current_idx]:
+                choice = self.book.best_fallback(self.agent.rng, exclude=self.current_idx)
+            elif self._desperate_rounds >= self.params.desperate_migration_rounds:
+                # Packing deadlock: the guarantee has been violated for
+                # several monitor periods and no candidate qualifies.
+                # Move to a strictly less-subscribed path anyway; the
+                # displaced contention lets other violated pairs requalify
+                # (distributed repacking).
+                self._desperate_rounds = 0
+                best = self.book.best_fallback(self.agent.rng, exclude=self.current_idx)
+                current_quality = self.book.quality[self.current_idx]
+                best_quality = self.book.quality[best]
+                if (
+                    current_quality is not None
+                    and best_quality is not None
+                    and best_quality.subscription < current_quality.subscription - 1e-9
+                ):
+                    choice = best
+                else:
+                    self.violation_rounds = 0
+                    return
+            else:
+                # No better home yet: stay, keep monitoring, and remember
+                # how long we have been stuck.
+                self._desperate_rounds += 1
+                self.violation_rounds = 0
+                return
+        if choice == self.current_idx:
+            self.violation_rounds = 0
+            return
+        now = self.sim.now
+        t = self.base_rtt()
+        self._desperate_rounds = 0
+        # Retire registers on the old path.
+        self._send_finish()
+        old_idx = self.current_idx
+        self.current_idx = choice
+        self.violation_rounds = 0
+        self.stats["migrations"] += 1
+        lo, hi = self.params.freeze_window_rtts
+        self.agent.freeze_until = now + self.agent.rng.uniform(lo, hi) * t
+
+        def switch_data() -> None:
+            if self.current_idx == choice:
+                self.network.migrate_pair(self.pair.pair_id, self.path())
+
+        if self.params.avoid_reordering:
+            # Probe first; move data one RTT later so the old path drains.
+            self.sim.schedule(t, switch_data)
+        else:
+            switch_data()
+        self._enter_ramp(bootstrap=False)
+        self._cancel_probe_timer()
+        self._send_data_probe()
+
+    # ------------------------------------------------------------------
+    # Idle handling
+    # ------------------------------------------------------------------
+    def _go_idle(self) -> None:
+        self.state = PairState.IDLE
+        self.window = 0.0
+        self.network.set_pair_rate(self.pair.pair_id, 0.0)
+        self._cancel_timers()
+        self._send_finish()
+
+    def poke(self) -> None:
+        """Demand returned (message enqueued / demand cap raised)."""
+        self._idle_since = None
+        if self.state == PairState.IDLE:
+            self._enter_ramp(bootstrap=False)
+            self._send_data_probe()
+            return
+        self.network.refresh_pair(self.pair.pair_id)
+        if self._was_limited and self.state in (PairState.STABLE, PairState.RAMP):
+            # Scenario-2 resume without waiting for the next probe.
+            self._was_limited = False
+            self._limited_rounds = 0
+            self._enter_ramp(bootstrap=False)
+        # If the probe clock went lazy while the pair was quiet, get
+        # fresh telemetry now instead of riding a stale window.
+        if self.sim.now - self._last_feedback_at > 2.0 * self.base_rtt():
+            self._cancel_probe_timer()
+            self._send_data_probe()
+
+    # ------------------------------------------------------------------
+    # Probe clocking
+    # ------------------------------------------------------------------
+    def _schedule_next_probe(self, now: float) -> None:
+        self._cancel_probe_timer()
+        t = self.base_rtt()
+        if self.params.probe_period_rtts > 0:
+            delay = self.params.probe_period_rtts * t
+        else:
+            # Self-clocked: after L_w bytes at the current rate, but at
+            # least one base RTT apart (section 4.1).
+            rate = max(self.network.delivered_rate(self.pair.pair_id), 1.0)
+            gap_bits = self.params.probe_payload_gap_bytes * 8.0
+            delay = max(gap_bits / rate, self.params.min_probe_gap_rtts * t)
+            delay = min(delay, 64.0 * t)  # keep state fresh even when slow
+        self._probe_event = self.sim.schedule(delay, self._send_data_probe)
+
+    def _cancel_probe_timer(self) -> None:
+        if self._probe_event is not None:
+            self._probe_event.cancel()
+            self._probe_event = None
+
+    def _cancel_timers(self) -> None:
+        self._cancel_probe_timer()
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+
+
+class EdgeAgent:
+    """uFAB-E instance for one host."""
+
+    def __init__(self, host_name: str, network: Network, params: UFabParams, rng: random.Random) -> None:
+        self.host_name = host_name
+        self.network = network
+        self.params = params
+        self.rng = rng
+        self.controllers: Dict[str, PairController] = {}
+        self.freeze_until = 0.0
+        # Receiver-side token admission hook: pair_id -> phi_receiver.
+        self.receiver_tokens: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def add_pair(self, pair: VMPair, candidates: List[Path]) -> PairController:
+        controller = PairController(self, pair, candidates)
+        self.controllers[pair.pair_id] = controller
+        controller.start()
+        return controller
+
+    def launch_probe(
+        self,
+        pair: VMPair,
+        path: Path,
+        header: ProbeHeader,
+        on_hop,
+        on_response: Optional[Callable[[ProbeHeader, float], None]],
+    ) -> None:
+        """Send a probe; the destination edge answers over the reverse path."""
+        network = self.network
+        dst_agent = network.hosts[pair.dst_host].edge_agent
+
+        def at_destination(probe, now: float) -> None:
+            if on_response is None:
+                return
+            if dst_agent is not None:
+                header.phi_receiver = dst_agent.receiver_tokens.get(
+                    pair.pair_id, header.phi_receiver
+                )
+            reverse = network.topology.reverse_path(path)
+            network.send_probe(
+                reverse,
+                header,
+                on_hop=None,  # responses only carry data back
+                on_arrive=lambda p, t: on_response(header, t),
+            )
+
+        network.send_probe(path, header, on_hop=on_hop, on_arrive=at_destination)
+
+
+class UFabFabric:
+    """The installed uFAB deployment: all edge agents plus the core."""
+
+    def __init__(self, network: Network, params: Optional[UFabParams] = None, seed: int = 1) -> None:
+        self.network = network
+        self.params = params or UFabParams()
+        self.rng = random.Random(seed)
+        self.core_agents = attach_core_agents(network.topology, self.params)
+        self.edges: Dict[str, EdgeAgent] = {}
+        for name, host in network.hosts.items():
+            agent = EdgeAgent(name, network, self.params, random.Random(self.rng.random()))
+            host.edge_agent = agent
+            self.edges[name] = agent
+        self._schedule_sweeps()
+
+    def _schedule_sweeps(self) -> None:
+        period = self.params.sweep_period_s
+
+        def sweep() -> None:
+            now = self.network.sim.now
+            for agent in self.core_agents.values():
+                agent.sweep(now)
+            self.network.sim.schedule(period, sweep)
+
+        self.network.sim.schedule(period, sweep)
+
+    # ------------------------------------------------------------------
+    def add_pair(
+        self,
+        pair: VMPair,
+        candidates: Optional[List[Path]] = None,
+        n_candidates: Optional[int] = None,
+    ) -> PairController:
+        """Register a VM-pair and start its controller."""
+        topo = self.network.topology
+        if candidates is None:
+            all_paths = topo.shortest_paths(pair.src_host, pair.dst_host)
+            if not all_paths:
+                raise ValueError(f"no path {pair.src_host} -> {pair.dst_host}")
+            k = n_candidates or self.params.n_candidate_paths
+            if len(all_paths) > k:
+                edge_rng = self.edges[pair.src_host].rng
+                candidates = edge_rng.sample(all_paths, k)
+            else:
+                candidates = list(all_paths)
+        self.network.register_pair(pair, candidates[0])
+        controller = self.edges[pair.src_host].add_pair(pair, candidates)
+        # Wake the controller when a message-driven pair gets new demand,
+        # chaining after the network's solver-sync hook.
+        if pair.message_queue is not None:
+            base = pair.message_queue.on_nonempty
+
+            def wake() -> None:
+                if base is not None:
+                    base()
+                controller.poke()
+
+            pair.message_queue.on_nonempty = wake
+        return controller
+
+    def remove_pair(self, pair_id: str) -> None:
+        for agent in self.edges.values():
+            controller = agent.controllers.pop(pair_id, None)
+            if controller is not None:
+                controller.stop()
+        self.network.unregister_pair(pair_id)
+
+    def controller(self, pair_id: str) -> PairController:
+        for agent in self.edges.values():
+            if pair_id in agent.controllers:
+                return agent.controllers[pair_id]
+        raise KeyError(pair_id)
+
+    def set_demand(self, pair_id: str, demand_bps: float) -> None:
+        """Change a pair's demand process and wake its controller."""
+        pair = self.network.pairs[pair_id]
+        rising = demand_bps > pair.demand_bps
+        pair.demand_bps = demand_bps
+        self.network.refresh_pair(pair_id)
+        if rising:
+            self.controller(pair_id).poke()
+
+
+def install_ufab(
+    network: Network,
+    params: Optional[UFabParams] = None,
+    seed: int = 1,
+) -> UFabFabric:
+    """Deploy uFAB on a simulated network (edge agents + informative core)."""
+    return UFabFabric(network, params, seed)

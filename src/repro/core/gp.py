@@ -1,0 +1,157 @@
+"""Dynamic Guarantee Partitioning service (section 6, Appendix E).
+
+Periodically re-partitions each VF's per-VM hose tokens across its
+VM-pairs using Algorithm 1: senders apportion by measured demand (with
+uFAB's instant-ramp option for under-demanded pairs), receivers admit
+with max-min fairness.  A pair's effective token is
+``min(phi_sender, phi_receiver)``, written into ``pair.phi`` so probes,
+rate control and baseline weights all see the updated guarantee.
+
+Works with any fabric exposing ``network`` and per-pair registration
+(uFAB or a baseline): GP is an edge-only mechanism in the paper too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.token import PairDemand, token_admission, token_assignment
+from repro.sim.host import VMPair
+from repro.sim.network import Network
+
+
+class GuaranteePartitioner:
+    """Runs Algorithm 1 for one VF across all its registered pairs."""
+
+    def __init__(
+        self,
+        network: Network,
+        vf: str,
+        per_vm_tokens: float,
+        unit_bandwidth: float,
+        period_s: float = 200e-6,
+        ewma: float = 0.5,
+        min_tokens: float = 1.0,
+    ) -> None:
+        self.network = network
+        self.vf = vf
+        self.per_vm_tokens = per_vm_tokens
+        self.unit_bandwidth = unit_bandwidth
+        self.period_s = period_s
+        self.ewma = ewma
+        self.min_tokens = min_tokens
+        self.pairs: List[VMPair] = []
+        self._meters: Dict[str, float] = {}
+        self._started = False
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    def watch(self, pair: VMPair) -> None:
+        """Register a pair of this VF for dynamic token assignment."""
+        if pair.vf != self.vf:
+            raise ValueError(f"pair {pair.pair_id} belongs to VF {pair.vf!r}, not {self.vf!r}")
+        self.pairs.append(pair)
+        self._meters[pair.pair_id] = 0.0
+        if not self._started:
+            self._started = True
+            self.network.sim.schedule(self.period_s, self._tick)
+
+    def unwatch(self, pair_id: str) -> None:
+        self.pairs = [p for p in self.pairs if p.pair_id != pair_id]
+        self._meters.pop(pair_id, None)
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        registered = [p for p in self.pairs if p.pair_id in self.network.pairs]
+        if registered:
+            self._update_meters(registered)
+            # Fully idle pairs leave the partition (they are inactive in
+            # the uFAB-C sense: finish-probed off the links).  They keep
+            # a fair-share float so demand can ramp instantly — the
+            # paper's "at most double the tokens in one RTT" option.
+            idle_float = self.per_vm_tokens / max(len(registered), 1)
+            activity_floor = 0.02 * self.per_vm_tokens * self.unit_bandwidth
+            active = []
+            for p in registered:
+                if p.has_demand() or self._meters[p.pair_id] > activity_floor:
+                    active.append(p)
+                else:
+                    p.phi = max(self.min_tokens, idle_float)
+            if active:
+                self._repartition(active)
+        self.rounds += 1
+        self.network.sim.schedule(self.period_s, self._tick)
+
+    def _update_meters(self, live: Sequence[VMPair]) -> None:
+        for pair in live:
+            demand = self._demand_of(pair)
+            old = self._meters.get(pair.pair_id, 0.0)
+            if demand >= old:
+                # Demand rises instantly (bursts must grab tokens now) …
+                self._meters[pair.pair_id] = demand
+            else:
+                # … and falls fast: a pair whose burst ended releases its
+                # tokens within one period, so they can concentrate on
+                # the peers that are still active.
+                self._meters[pair.pair_id] = demand + (1 - self.ewma) * (old - demand) * 0.5
+
+    def _demand_of(self, pair: VMPair) -> float:
+        """Estimate the pair's bandwidth demand in bits/s.
+
+        A backlogged message queue wants to drain now, so its demand is
+        the drain-now rate, not the (token-limited) delivered rate —
+        otherwise tokens can never concentrate on the active peer.  A
+        rate-capped pair's demand is its cap; a plain backlogged stream
+        asks for a bit more than it currently gets (ElasticSwitch's
+        satisfied-then-grow rule).
+        """
+        delivered = self.network.delivered_rate(pair.pair_id)
+        queue = pair.message_queue
+        if queue is not None:
+            if queue.pending():
+                return max(delivered, queue.backlog_bits() / self.period_s)
+            return 0.0
+        import math
+
+        if pair.demand_bps != math.inf:
+            return pair.demand_bps
+        return 1.5 * delivered + 0.01 * self.per_vm_tokens * self.unit_bandwidth
+
+    def _repartition(self, live: Sequence[VMPair]) -> None:
+        # Sender side: group by source VM (host), apportion demand.
+        by_src: Dict[str, List[PairDemand]] = {}
+        demand_index: Dict[str, PairDemand] = {}
+        for pair in live:
+            d = PairDemand(pair_id=pair.pair_id, tx_rate=self._meters[pair.pair_id])
+            by_src.setdefault(pair.src_host, []).append(d)
+            demand_index[pair.pair_id] = d
+        for group in by_src.values():
+            token_assignment(self.per_vm_tokens, group, self.unit_bandwidth)
+        # Receiver side: group by destination VM, admit max-min fairly.
+        by_dst: Dict[str, List[PairDemand]] = {}
+        for pair in live:
+            by_dst.setdefault(pair.dst_host, []).append(demand_index[pair.pair_id])
+        for group in by_dst.values():
+            token_admission(self.per_vm_tokens, group)
+        for pair in live:
+            d = demand_index[pair.pair_id]
+            new_phi = max(self.min_tokens, d.effective_phi())
+            if new_phi != pair.phi:
+                pair.phi = new_phi
+
+
+def enable_gp(
+    network: Network,
+    fabric,
+    pairs: Sequence[VMPair],
+    vf: str,
+    per_vm_tokens: float,
+    unit_bandwidth: float,
+    period_s: float = 200e-6,
+) -> GuaranteePartitioner:
+    """Convenience: partition ``vf``'s tokens across ``pairs``."""
+    gp = GuaranteePartitioner(network, vf, per_vm_tokens, unit_bandwidth, period_s)
+    for pair in pairs:
+        if pair.vf == vf:
+            gp.watch(pair)
+    return gp

@@ -1,0 +1,56 @@
+"""Multipath token split (Appendix F, Algorithm 2).
+
+Distributes a VM-pair's sender-assigned token phi_s across its underlay
+paths: equal split for fairness, spare capacity from under-demanded
+paths redistributed for work conservation, but every path keeps at
+least the fair share so demand growth is never starved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+
+@dataclasses.dataclass
+class PathDemand:
+    """One underlay path's view in Algorithm 2."""
+
+    path_id: str
+    tx_rate: float = 0.0  # measured TX rate on this path (bits/s)
+    phi: float = 0.0  # token assigned to this path
+
+
+def multipath_assignment(
+    phi_sender: float,
+    paths: List[PathDemand],
+    unit_bandwidth: float,
+) -> List[PathDemand]:
+    """MULTIPATHASSIGNMENT(phi_s, L) — Algorithm 2.
+
+    Mutates and returns ``paths`` with ``phi`` set.  Invariants (tested):
+    every path gets at least the fair share phi_s/|L|; paths with
+    sufficient demand share the spare equally.
+    """
+    if not paths:
+        return paths
+    n_paths = len(paths)
+    for l in paths:
+        l.phi = 0.0
+    fair = phi_sender / n_paths  # line 3: ensure fairness
+
+    spare = 0.0
+    n_bounded = 0
+    for l in paths:
+        demand_tokens = l.tx_rate / unit_bandwidth
+        if fair > demand_tokens:
+            spare += fair - demand_tokens
+            l.phi = fair  # line 7: boost demand growth
+            n_bounded += 1
+
+    remaining = n_paths - n_bounded
+    for l in paths:
+        if l.phi == 0.0:
+            # line 11: fair share plus an equal cut of the spare.
+            l.phi = fair + (spare / remaining if remaining else 0.0)
+    return paths

@@ -1,0 +1,165 @@
+"""Path qualification, selection and migration policy (section 3.5).
+
+A path is *qualified* for a joining VM-pair when every link can still
+serve all minimum guarantees after the join:
+``C_l >= (Phi_l + phi_{a->b}) * B_u`` — judged from a single probe,
+without moving any traffic.  Among qualified paths uFAB-E picks
+randomly with a preference for minimum bandwidth subscription; for
+work-conservation migrations only the qualified path with the largest
+work-conserving rate is considered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.admission import proportional_share, work_conserving_rate
+from repro.core.params import UFabParams
+from repro.core.probe import HopRecord
+from repro.sim.topology import Path
+
+
+@dataclasses.dataclass
+class PathQuality:
+    """Digest of one probe's per-hop telemetry for path judgement."""
+
+    subscription: float  # max over hops of Phi_l * B_u / C_target in [0, inf)
+    headroom_tokens: float  # min over hops of (C_target/B_u - Phi_l)
+    share_rate: float  # min over hops of Eqn-1 proportional share (bits/s)
+    wc_rate: float  # min over hops of Eqn-2 work-conserving rate (bits/s)
+    max_queue: float  # max queue observed (bits): latency-spike risk
+    measured_rtt: float
+    updated_at: float
+
+    def qualified_for(self, phi: float, unit_bandwidth: float, already_on: bool = False) -> bool:
+        """C_l >= (Phi_l + phi) B_u on all hops; a pair already counted
+        in Phi_l checks C_l >= Phi_l B_u instead."""
+        extra = 0.0 if already_on else phi
+        return self.headroom_tokens >= extra
+
+
+def summarize_path(
+    hops: Sequence[HopRecord],
+    phi: float,
+    measured_rtt: float,
+    now: float,
+    params: UFabParams,
+) -> PathQuality:
+    """Fold per-hop INT records into a :class:`PathQuality`."""
+    if not hops:
+        raise ValueError("cannot summarize a path with no hop records")
+    subscription = 0.0
+    headroom = math.inf
+    share = math.inf
+    wc = math.inf
+    max_queue = 0.0
+    bu = params.unit_bandwidth
+    for hop in hops:
+        c_target = params.target_capacity(hop.capacity)
+        subscription = max(subscription, hop.phi_total * bu / c_target)
+        headroom = min(headroom, c_target / bu - hop.phi_total)
+        share = min(share, proportional_share(phi, hop.phi_total, c_target))
+        total_rate_est = hop.tx_rate  # R_l ~ tx_l between summaries
+        wc = min(
+            wc,
+            work_conserving_rate(phi, hop.phi_total, total_rate_est, hop.tx_rate, c_target),
+        )
+        max_queue = max(max_queue, hop.queue)
+    return PathQuality(
+        subscription=subscription,
+        headroom_tokens=headroom,
+        share_rate=share,
+        wc_rate=wc,
+        max_queue=max_queue,
+        measured_rtt=measured_rtt,
+        updated_at=now,
+    )
+
+
+class PathBook:
+    """Per-VM-pair record of candidate paths and their latest quality."""
+
+    def __init__(self, candidates: Sequence[Path]) -> None:
+        if not candidates:
+            raise ValueError("a VM-pair needs at least one candidate path")
+        self.candidates: List[Path] = [tuple(p) for p in candidates]
+        self.quality: List[Optional[PathQuality]] = [None] * len(self.candidates)
+        self.failed: List[bool] = [False] * len(self.candidates)
+
+    def index_of(self, path: Path) -> int:
+        return self.candidates.index(tuple(path))
+
+    def record(self, index: int, quality: PathQuality) -> None:
+        self.quality[index] = quality
+        self.failed[index] = False
+
+    def mark_failed(self, index: int) -> None:
+        self.failed[index] = True
+
+    # ------------------------------------------------------------------
+    def qualified_indices(
+        self,
+        phi: float,
+        params: UFabParams,
+        current: Optional[int] = None,
+    ) -> List[int]:
+        out = []
+        for i, quality in enumerate(self.quality):
+            if quality is None or self.failed[i]:
+                continue
+            if quality.qualified_for(phi, params.unit_bandwidth, already_on=(i == current)):
+                out.append(i)
+        return out
+
+    def select_initial(
+        self,
+        phi: float,
+        params: UFabParams,
+        rng: random.Random,
+        exclude: Optional[int] = None,
+    ) -> Optional[int]:
+        """Qualified path with minimum subscription, random tie-break.
+
+        "Selects one randomly with a preference to the path with minimum
+        bandwidth subscription" (section 3.5): we pick uniformly among
+        the paths within a small margin of the least-subscribed one —
+        decisive enough to balance token load across equal-cost uplinks,
+        randomized enough to avoid synchronized herding (the freeze
+        window handles the rest).
+        """
+        qualified = [
+            i for i in self.qualified_indices(phi, params, current=exclude) if i != exclude
+        ]
+        if not qualified:
+            return None
+        best = min(self.quality[i].subscription for i in qualified)
+        near_best = [i for i in qualified if self.quality[i].subscription <= best + 0.02]
+        return rng.choice(near_best)
+
+    def select_for_work_conservation(
+        self,
+        phi: float,
+        params: UFabParams,
+        current: int,
+    ) -> Optional[int]:
+        """Only the qualified path with the largest R_{a->b} is considered."""
+        qualified = [
+            i for i in self.qualified_indices(phi, params, current=current) if i != current
+        ]
+        if not qualified:
+            return None
+        return max(qualified, key=lambda i: self.quality[i].wc_rate)
+
+    def best_fallback(self, rng: random.Random, exclude: Optional[int] = None) -> int:
+        """When nothing is qualified (e.g. failures), pick the least-
+        subscribed live path so the pair is not stranded."""
+        live = [i for i in range(len(self.candidates)) if not self.failed[i] and i != exclude]
+        if not live:
+            live = [i for i in range(len(self.candidates)) if i != exclude] or [0]
+        known = [i for i in live if self.quality[i] is not None]
+        if known:
+            return min(known, key=lambda i: self.quality[i].subscription)
+        return rng.choice(live)

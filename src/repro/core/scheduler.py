@@ -1,0 +1,129 @@
+"""Hierarchical weighted fair scheduler (section 4.1, Figure 8).
+
+The FPGA implementation constrains the WFQ engine to 8 weighted queues
+with distinct weight levels; VFs mapping to the same level share it
+round-robin, and VM-pairs within a VF are also served round-robin.
+This model reproduces that structure: `next_pair()` emits the VM-pair
+that a start-time-fair virtual-clock WFQ would serve next.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+class _LevelQueue:
+    """One weighted queue: VFs in round-robin, pairs per VF in round-robin."""
+
+    def __init__(self, weight: float) -> None:
+        self.weight = weight
+        self.vfs: Deque[str] = deque()
+        self.pairs: Dict[str, Deque[str]] = {}
+        self.finish_time = 0.0
+
+    def empty(self) -> bool:
+        return not self.vfs
+
+    def add_pair(self, vf: str, pair_id: str) -> None:
+        if vf not in self.pairs:
+            self.pairs[vf] = deque()
+            self.vfs.append(vf)
+        if pair_id not in self.pairs[vf]:
+            self.pairs[vf].append(pair_id)
+
+    def remove_pair(self, vf: str, pair_id: str) -> None:
+        queue = self.pairs.get(vf)
+        if queue is None:
+            return
+        try:
+            queue.remove(pair_id)
+        except ValueError:
+            return
+        if not queue:
+            del self.pairs[vf]
+            self.vfs.remove(vf)
+
+    def next_pair(self) -> Optional[Tuple[str, str]]:
+        """Round-robin across VFs, then across that VF's pairs."""
+        if not self.vfs:
+            return None
+        vf = self.vfs[0]
+        self.vfs.rotate(-1)
+        pairs = self.pairs[vf]
+        pair = pairs[0]
+        pairs.rotate(-1)
+        return vf, pair
+
+
+class WeightedFairScheduler:
+    """WFQ over a fixed set of weight levels (default 8).
+
+    Weights requested by tenants are snapped to the nearest available
+    level — "using constraint weights slightly limits the performance
+    differentiability but greatly improves the scalability" (4.1).
+    """
+
+    def __init__(self, levels: Optional[List[float]] = None, n_levels: int = 8) -> None:
+        if levels is None:
+            levels = [float(2 ** i) for i in range(n_levels)]
+        if not levels:
+            raise ValueError("need at least one weight level")
+        self.levels = sorted(set(levels))
+        self._queues = {w: _LevelQueue(w) for w in self.levels}
+        self._virtual_time = 0.0
+        self._vf_level: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def snap_weight(self, weight: float) -> float:
+        """Nearest available weight level for a requested tenant weight."""
+        return min(self.levels, key=lambda w: abs(w - weight))
+
+    def register(self, vf: str, weight: float, pair_id: str) -> float:
+        """Register a backlogged VM-pair; returns the snapped weight."""
+        level = self._vf_level.get(vf)
+        if level is None:
+            level = self.snap_weight(weight)
+            self._vf_level[vf] = level
+        queue = self._queues[level]
+        if queue.empty():
+            queue.finish_time = self._virtual_time
+        queue.add_pair(vf, pair_id)
+        return level
+
+    def unregister(self, vf: str, pair_id: str) -> None:
+        level = self._vf_level.get(vf)
+        if level is None:
+            return
+        self._queues[level].remove_pair(vf, pair_id)
+
+    # ------------------------------------------------------------------
+    def next_pair(self, quantum: float = 1.0) -> Optional[Tuple[str, str]]:
+        """Serve the eligible queue with the smallest virtual finish time.
+
+        Each service advances the queue's finish time by quantum/weight,
+        which realizes weighted sharing among backlogged levels.
+        """
+        best: Optional[_LevelQueue] = None
+        for queue in self._queues.values():
+            if queue.empty():
+                continue
+            if best is None or queue.finish_time < best.finish_time:
+                best = queue
+        if best is None:
+            return None
+        self._virtual_time = best.finish_time
+        best.finish_time += quantum / best.weight
+        return best.next_pair()
+
+    def serve(self, n: int, quantum: float = 1.0) -> List[Tuple[str, str]]:
+        """Convenience: the next ``n`` scheduling decisions."""
+        out = []
+        for _ in range(n):
+            decision = self.next_pair(quantum)
+            if decision is None:
+                break
+            out.append(decision)
+        return out

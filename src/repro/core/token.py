@@ -1,0 +1,151 @@
+"""Token assignment (Appendix E, Algorithm 1).
+
+Partitions a VF's hose-model tokens phi^a into per-VM-pair tokens under
+online traffic patterns, ElasticSwitch-GP style.  The sender apportions
+tokens as *demands*; the receiver admits them with max-min fairness.
+
+uFAB's variant (the paper's "another option"): a VM-pair with
+insufficient demand still keeps its fair-share token so it can ramp
+instantly when demand returns — at the cost of assigning at most double
+the VF's tokens in one RTT, which the inflight bound absorbs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+UNBOUND = math.inf
+
+
+@dataclasses.dataclass
+class PairDemand:
+    """Sender/receiver-side view of one VM-pair in Algorithm 1."""
+
+    pair_id: str
+    tx_rate: float = 0.0  # measured actual TX rate (bits/s)
+    phi_sender: float = 0.0  # phi_s: sender-assigned tokens
+    phi_receiver: float = UNBOUND  # phi_D: receiver-admitted tokens
+
+    def effective_phi(self) -> float:
+        """The pair's usable token: min of both sides' views."""
+        return min(self.phi_sender, self.phi_receiver)
+
+
+def token_assignment(
+    phi_vf: float,
+    pairs: List[PairDemand],
+    unit_bandwidth: float,
+) -> List[PairDemand]:
+    """Sender-side TOKENASSIGNMENT(phi^a, P) — Algorithm 1, lines 1-18.
+
+    Mutates and returns ``pairs`` with ``phi_sender`` set.
+    """
+    if not pairs:
+        return pairs
+    n_total = len(pairs)
+    for p in pairs:
+        p.phi_sender = 0.0
+    fair = phi_vf / n_total
+
+    # Lines 4-9: pairs bounded by demand contribute spare tokens but are
+    # still admitted the fair share (instant ramp on demand return).
+    spare = 0.0
+    n_bounded = 0
+    for p in pairs:
+        demand_tokens = p.tx_rate / unit_bandwidth
+        if fair > demand_tokens:
+            spare += fair - demand_tokens
+            p.phi_sender = fair
+            n_bounded += 1
+    remaining = n_total - n_bounded
+    if remaining == 0:
+        return pairs
+    fair += spare / remaining
+
+    # Lines 10-15: pairs bounded by the receiver's admission get exactly
+    # what the receiver grants; their unused share raises the water level
+    # for everyone still unassigned (process in ascending phi_D order).
+    unassigned = sorted(
+        (p for p in pairs if p.phi_sender == 0.0),
+        key=lambda p: p.phi_receiver,
+    )
+    left = len(unassigned)
+    tail: List[PairDemand] = []
+    for p in unassigned:
+        if p.phi_receiver < fair:
+            p.phi_sender = p.phi_receiver
+            left -= 1
+            if left > 0:
+                fair += (fair - p.phi_receiver) / left
+        else:
+            tail.append(p)
+
+    # Lines 16-18: everyone else gets the final water level.
+    for p in tail:
+        p.phi_sender = fair
+    return pairs
+
+
+def token_admission(
+    phi_vf: float,
+    pairs: List[PairDemand],
+) -> List[PairDemand]:
+    """Receiver-side TOKENADMISSION(phi^a, P) — Algorithm 1, lines 19-30.
+
+    Demands arrive as ``phi_sender``; the receiver answers with max-min
+    fair ``phi_receiver`` (UNBOUND when the demand fits under the fair
+    share, so small senders are never receiver-limited).
+    """
+    if not pairs:
+        return pairs
+    n_total = len(pairs)
+    fair = phi_vf / n_total
+    # Ascending demand order: each small demand releases its slack.
+    left = n_total
+    for p in sorted(pairs, key=lambda p: p.phi_sender):
+        if p.phi_sender < fair:
+            p.phi_receiver = UNBOUND
+            left -= 1
+            if left > 0:
+                fair += (fair - p.phi_sender) / left
+        else:
+            p.phi_receiver = fair
+    return pairs
+
+
+class TokenManager:
+    """Periodic token (re)assignment for one VF endpoint.
+
+    Tracks per-pair TX-rate meters and recomputes the sender-side split
+    every ``period`` (the paper's token update period, 32 us default).
+    """
+
+    def __init__(self, vf: str, phi_vf: float, unit_bandwidth: float) -> None:
+        self.vf = vf
+        self.phi_vf = phi_vf
+        self.unit_bandwidth = unit_bandwidth
+        self.pairs: List[PairDemand] = []
+
+    def pair(self, pair_id: str) -> PairDemand:
+        for p in self.pairs:
+            if p.pair_id == pair_id:
+                return p
+        p = PairDemand(pair_id=pair_id)
+        self.pairs.append(p)
+        return p
+
+    def remove(self, pair_id: str) -> None:
+        self.pairs = [p for p in self.pairs if p.pair_id != pair_id]
+
+    def update_tx(self, pair_id: str, tx_rate: float) -> None:
+        self.pair(pair_id).tx_rate = tx_rate
+
+    def reassign(self) -> List[PairDemand]:
+        """One sender-side assignment round over the current meters."""
+        return token_assignment(self.phi_vf, self.pairs, self.unit_bandwidth)
+
+    def admit(self) -> List[PairDemand]:
+        """One receiver-side admission round over current demands."""
+        return token_admission(self.phi_vf, self.pairs)

@@ -1,0 +1,59 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.fabrics import make_fabric
+from repro.core.params import UFabParams
+from repro.sim.network import Network
+from repro.sim.topology import Topology, three_tier_testbed
+
+SCHEMES = ("pwc", "es+clove", "ufab")
+SCHEMES_WITH_PRIME = ("pwc", "es+clove", "ufab-prime", "ufab")
+
+SCHEME_LABELS = {
+    "pwc": "PicNIC'+WCC+Clove",
+    "es+clove": "ES+Clove",
+    "ufab": "uFAB",
+    "ufab-prime": "uFAB'",
+    "ideal": "Ideal",
+    "wcc+ecmp": "WCC+ECMP",
+    "wcc+ecmp-polarized": "WCC+ECMP (polarized)",
+}
+
+
+@dataclasses.dataclass
+class SchemeRun:
+    """One scheme's measurements within an experiment."""
+
+    scheme: str
+    rate_series: Dict[str, List[Tuple[float, float]]] = dataclasses.field(default_factory=dict)
+    rtt_samples: List[float] = dataclasses.field(default_factory=list)
+    extras: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+
+def testbed_network(
+    link_capacity: float = 10e9,
+    resolve_interval: float = 0.0,
+) -> Network:
+    """A fresh Figure-10 testbed network."""
+    net = Network(three_tier_testbed(link_capacity=link_capacity))
+    net.resolve_interval = resolve_interval
+    return net
+
+
+def build_scheme(
+    scheme: str,
+    network: Network,
+    params: Optional[UFabParams] = None,
+    seed: int = 1,
+    flowlet_gap_s: float = 200e-6,
+):
+    return make_fabric(scheme, network, params, seed, flowlet_gap_s)
+
+
+def sample_period_for(base_rtt: float) -> float:
+    """RTT/queue sampling cadence: a fraction of the control interval."""
+    return base_rtt / 2.0

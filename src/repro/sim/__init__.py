@@ -1,0 +1,41 @@
+"""Discrete-event fluid network simulator substrate.
+
+This package is the stand-in for the paper's hardware testbed and NS3
+simulations.  It models flows as fluid rates with lazily-integrated link
+queues, while control traffic (probes, responses) travels as discrete
+events with real propagation and queuing delay.  See DESIGN.md section 4.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.link import Link
+from repro.sim.topology import (
+    Topology,
+    dumbbell,
+    fat_tree,
+    leaf_spine,
+    parking_lot,
+    three_tier_testbed,
+)
+from repro.sim.fluid import FluidSolver
+from repro.sim.network import Network, Probe
+from repro.sim.host import Host, VMPair
+from repro.sim.messages import Message, MessageQueue
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Link",
+    "Topology",
+    "dumbbell",
+    "parking_lot",
+    "leaf_spine",
+    "fat_tree",
+    "three_tier_testbed",
+    "FluidSolver",
+    "Network",
+    "Probe",
+    "Host",
+    "VMPair",
+    "Message",
+    "MessageQueue",
+]

@@ -1,0 +1,90 @@
+"""Hosts and VM-pairs.
+
+A :class:`VMPair` is the paper's unit of bandwidth allocation: the
+aggregate of one tenant's application flows between one VM and another
+(section 3.2).  It carries the pair's bandwidth token, a demand process,
+an optional message backlog, and the solver-facing sending rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.sim.messages import Message, MessageQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+
+UNLIMITED = math.inf
+
+
+class VMPair:
+    """One VM-to-VM traffic aggregate belonging to a virtual fabric."""
+
+    def __init__(
+        self,
+        pair_id: str,
+        vf: str,
+        src_host: str,
+        dst_host: str,
+        phi: float = 1.0,
+        demand_bps: float = UNLIMITED,
+    ) -> None:
+        self.pair_id = pair_id
+        self.vf = vf
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.phi = float(phi)  # bandwidth tokens (Appendix E)
+        self.demand_bps = demand_bps  # demand cap; inf = backlogged
+        self.scheme_rate = 0.0  # what the transport allows
+        self.active = True
+        self.message_queue: Optional[MessageQueue] = None
+        self.meta: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def send_rate(self) -> float:
+        """Offered rate: transport allowance capped by the demand process."""
+        if not self.active:
+            return 0.0
+        demand = self.demand_bps
+        if self.message_queue is not None:
+            # Message-driven pairs are backlogged while the queue is nonempty.
+            demand = UNLIMITED if self.message_queue.pending() else 0.0
+        if demand is UNLIMITED or demand == UNLIMITED:
+            return self.scheme_rate
+        return min(self.scheme_rate, demand)
+
+    def has_demand(self) -> bool:
+        if not self.active:
+            return False
+        if self.message_queue is not None:
+            return self.message_queue.pending() > 0
+        return self.demand_bps > 0
+
+    def guarantee_bps(self, unit_bandwidth: float) -> float:
+        """B_{a->b} = B_u * phi_{a->b} (section 3.3)."""
+        return self.phi * unit_bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VMPair({self.pair_id}, vf={self.vf}, phi={self.phi})"
+
+
+class Host:
+    """A physical server: origin of VM-pairs, attach point for edge agents."""
+
+    def __init__(self, name: str, network: "Network") -> None:
+        self.name = name
+        self.network = network
+        self.pairs: List[VMPair] = []
+        self.edge_agent = None  # set by the scheme installer
+
+    def originate(self, pair: VMPair) -> None:
+        if pair.src_host != self.name:
+            raise ValueError(f"{pair.pair_id} does not originate at {self.name}")
+        self.pairs.append(pair)
+
+    def local_pairs(self) -> List[VMPair]:
+        return list(self.pairs)

@@ -1,0 +1,120 @@
+"""Fluid link model: capacity, lazily-integrated queue, TX meter.
+
+A link is a *directed* resource (one switch egress port).  Between
+events the inflow is constant, so the queue evolves piecewise-linearly:
+``dq/dt = max(inflow - capacity, 0)`` when draining is saturated, and
+``dq/dt = inflow - capacity`` (bounded below by zero) otherwise.  The
+:meth:`sync` method integrates this evolution lazily, which keeps the
+simulator cost proportional to the number of *control* events rather
+than packets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Link:
+    """One directed link (egress port) with a FIFO fluid queue."""
+
+    __slots__ = (
+        "name",
+        "src",
+        "dst",
+        "capacity",
+        "prop_delay",
+        "max_queue",
+        "inflow",
+        "queue",
+        "_last_sync",
+        "dropped_bits",
+        "delivered_bits",
+        "peak_queue",
+        "core_agent",
+        "failed",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        src: str,
+        dst: str,
+        capacity: float,
+        prop_delay: float = 1e-6,
+        max_queue: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.capacity = float(capacity)  # bits/s
+        self.prop_delay = float(prop_delay)  # seconds
+        self.max_queue = max_queue  # bits; None = infinite
+        self.inflow = 0.0  # bits/s, set by the fluid solver
+        self.queue = 0.0  # bits
+        self._last_sync = 0.0
+        self.dropped_bits = 0.0
+        self.delivered_bits = 0.0
+        self.peak_queue = 0.0
+        # Optional uFAB-C agent attached to this egress port.
+        self.core_agent = None
+        self.failed = False
+
+    # ------------------------------------------------------------------
+    # Queue evolution
+    # ------------------------------------------------------------------
+    def sync(self, now: float) -> None:
+        """Integrate queue evolution from the last sync point to ``now``."""
+        dt = now - self._last_sync
+        if dt <= 0:
+            return
+        served = min(self.inflow, self.capacity) * dt
+        excess = (self.inflow - self.capacity) * dt
+        if excess > 0:
+            self.queue += excess
+            if self.max_queue is not None and self.queue > self.max_queue:
+                self.dropped_bits += self.queue - self.max_queue
+                self.queue = self.max_queue
+            served = self.capacity * dt
+        elif self.queue > 0:
+            drained = min(self.queue, -excess)
+            self.queue -= drained
+            served += drained
+        self.delivered_bits += served
+        if self.queue > self.peak_queue:
+            self.peak_queue = self.queue
+        self._last_sync = now
+
+    def set_inflow(self, now: float, inflow: float) -> None:
+        """Update the inflow rate, integrating the queue up to ``now`` first."""
+        self.sync(now)
+        self.inflow = max(0.0, inflow)
+
+    # ------------------------------------------------------------------
+    # Observables (what uFAB-C reads and stamps into probes)
+    # ------------------------------------------------------------------
+    def tx_rate(self, now: float) -> float:
+        """Actual output rate of the port right now (paper's ``tx_l``)."""
+        self.sync(now)
+        if self.queue > 0:
+            return self.capacity
+        return min(self.inflow, self.capacity)
+
+    def queue_bits(self, now: float) -> float:
+        """Real-time queue size in bits (paper's ``q_l``)."""
+        self.sync(now)
+        return self.queue
+
+    def queuing_delay(self, now: float) -> float:
+        """Time a packet arriving now waits behind the current queue."""
+        return self.queue_bits(now) / self.capacity
+
+    def delay(self, now: float) -> float:
+        """One-hop traversal delay: propagation plus queuing."""
+        return self.prop_delay + self.queuing_delay(now)
+
+    def utilization(self, now: float) -> float:
+        """tx / capacity in [0, 1]."""
+        return self.tx_rate(now) / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, C={self.capacity / 1e9:.1f}Gbps, q={self.queue / 8e3:.1f}KB)"

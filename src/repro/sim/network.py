@@ -1,0 +1,269 @@
+"""The Network object: topology + solver + probe transit + failures.
+
+It owns the simulator clock, coalesces fluid re-solves (many VM-pairs
+update their rates at the same instant on probe responses), moves probes
+hop by hop with real propagation and queuing delay, and records
+time-series samples for the figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.fluid import FluidSolver
+from repro.sim.host import Host, VMPair
+from repro.sim.link import Link
+from repro.sim.topology import Path, Topology
+
+
+class Probe:
+    """An in-flight control packet (probe, response, or finish probe).
+
+    Concrete header contents (INT records, tokens, windows) live in
+    :mod:`repro.core.probe`; the network layer only needs hop callbacks.
+    """
+
+    __slots__ = ("payload", "sent_at", "hops_taken", "dropped")
+
+    def __init__(self, payload: object, sent_at: float):
+        self.payload = payload
+        self.sent_at = sent_at
+        self.hops_taken = 0
+        self.dropped = False
+
+
+class Network:
+    """Simulated data-center network shared by all schemes."""
+
+    def __init__(self, topology: Topology, sim: Optional[Simulator] = None) -> None:
+        self.topology = topology
+        self.sim = sim or Simulator()
+        self.solver = FluidSolver()
+        self.hosts: Dict[str, Host] = {
+            name: Host(name, self) for name in topology.hosts()
+        }
+        self.pairs: Dict[str, VMPair] = {}
+        self.pair_paths: Dict[str, Path] = {}
+        self._resolve_scheduled = False
+        self._last_resolve = -1.0
+        # Minimum spacing between fluid re-solves.  0 = exact (every
+        # rate-change instant); large experiments set a few microseconds
+        # to batch hundreds of per-pair updates per control round.
+        self.resolve_interval = 0.0
+        self.failed_nodes: set = set()
+        # Per-pair delivered-rate listeners (message queues, meters).
+        self._rate_listeners: Dict[str, List[Callable[[float], None]]] = {}
+        # Time series: pair_id -> [(t, delivered_rate)] if sampling enabled.
+        self.rate_samples: Dict[str, List[Tuple[float, float]]] = {}
+        self._samplers: List[Event] = []
+
+    # ------------------------------------------------------------------
+    # Pair / flow management
+    # ------------------------------------------------------------------
+    def register_pair(self, pair: VMPair, path: Path) -> None:
+        if pair.pair_id in self.pairs:
+            raise ValueError(f"duplicate pair {pair.pair_id!r}")
+        self.pairs[pair.pair_id] = pair
+        self.pair_paths[pair.pair_id] = tuple(path)
+        self.hosts[pair.src_host].originate(pair)
+        self.solver.add_flow(pair.pair_id, path, pair.send_rate)
+        self.request_resolve()
+
+    def unregister_pair(self, pair_id: str) -> None:
+        pair = self.pairs.pop(pair_id)
+        self.pair_paths.pop(pair_id)
+        self.hosts[pair.src_host].pairs.remove(pair)
+        self.solver.remove_flow(pair_id)
+        self.request_resolve()
+
+    def set_pair_rate(self, pair_id: str, scheme_rate: float) -> None:
+        """Set the transport-allowed rate; demand capping happens here."""
+        pair = self.pairs[pair_id]
+        pair.scheme_rate = max(0.0, scheme_rate)
+        self.solver.set_rate(pair_id, pair.send_rate)
+        self.request_resolve()
+
+    def refresh_pair(self, pair_id: str) -> None:
+        """Re-read pair.send_rate (demand may have changed) into the solver."""
+        pair = self.pairs[pair_id]
+        self.solver.set_rate(pair_id, pair.send_rate)
+        self.request_resolve()
+
+    def migrate_pair(self, pair_id: str, new_path: Path) -> None:
+        self.pair_paths[pair_id] = tuple(new_path)
+        self.solver.set_path(pair_id, new_path)
+        self.request_resolve()
+
+    def path_of(self, pair_id: str) -> Path:
+        return self.pair_paths[pair_id]
+
+    def delivered_rate(self, pair_id: str) -> float:
+        return self.solver.delivered_rate(pair_id)
+
+    # ------------------------------------------------------------------
+    # Fluid resolution (coalesced)
+    # ------------------------------------------------------------------
+    def request_resolve(self) -> None:
+        """Schedule a re-solve; coalesces bursts of updates.
+
+        With ``resolve_interval == 0`` the re-solve runs at the current
+        instant (exact).  Otherwise it is deferred so that at most one
+        re-solve happens per interval.
+        """
+        if self._resolve_scheduled:
+            return
+        self._resolve_scheduled = True
+        delay = 0.0
+        if self.resolve_interval > 0:
+            earliest = self._last_resolve + self.resolve_interval
+            delay = max(0.0, earliest - self.sim.now)
+        self.sim.schedule(delay, self._do_resolve)
+
+    def resolve_now(self) -> None:
+        """Force an immediate re-solve (used at setup and by tests)."""
+        self._resolve_scheduled = False
+        self._last_resolve = self.sim.now
+        self.solver.apply(self.sim.now, self.topology.links.values())
+        for pair_id, listeners in self._rate_listeners.items():
+            if pair_id in self.pairs:
+                rate = self.solver.delivered_rate(pair_id)
+                for listener in listeners:
+                    listener(rate)
+
+    def _do_resolve(self) -> None:
+        if self._resolve_scheduled:
+            self.resolve_now()
+
+    def on_delivered_rate(self, pair_id: str, listener: Callable[[float], None]) -> None:
+        self._rate_listeners.setdefault(pair_id, []).append(listener)
+
+    def attach_message_queue(self, pair: VMPair, **queue_kwargs) -> None:
+        """Create a MessageQueue for the pair, drained at its delivered rate.
+
+        Queue empty/nonempty transitions change ``pair.send_rate`` (a
+        message-driven pair only offers load while backlogged), so they
+        re-sync the solver.  Schemes may chain their own ``on_nonempty``
+        (uFAB wires the controller's poke) — it runs after the refresh.
+        """
+        from repro.sim.messages import MessageQueue
+
+        queue = MessageQueue(self.sim, **queue_kwargs)
+        pair.message_queue = queue
+        self.on_delivered_rate(pair.pair_id, queue.set_rate)
+
+        def sync() -> None:
+            if pair.pair_id in self.pairs:
+                self.refresh_pair(pair.pair_id)
+
+        user_empty = queue.on_empty
+        user_nonempty = queue.on_nonempty
+
+        def on_empty() -> None:
+            sync()
+            if user_empty is not None:
+                user_empty()
+
+        def on_nonempty() -> None:
+            sync()
+            if user_nonempty is not None:
+                user_nonempty()
+
+        queue.on_empty = on_empty
+        queue.on_nonempty = on_nonempty
+
+    # ------------------------------------------------------------------
+    # Probe transit
+    # ------------------------------------------------------------------
+    def send_probe(
+        self,
+        path: Sequence[Link],
+        payload: object,
+        on_hop: Optional[Callable[[object, Link, float], None]] = None,
+        on_arrive: Optional[Callable[[Probe, float], None]] = None,
+        on_drop: Optional[Callable[[Probe], None]] = None,
+        host_delay: float = 0.0,
+    ) -> Probe:
+        """Launch a probe along ``path``; callbacks fire in simulated time.
+
+        ``on_hop(payload, link, now)`` runs as the probe is emitted onto
+        each link (where uFAB-C stamps INT).  ``on_arrive(probe, now)``
+        runs at the far end.  A probe entering a failed link is dropped.
+        """
+        probe = Probe(payload, self.sim.now)
+        hops = list(path)
+
+        def traverse(index: int) -> None:
+            if index >= len(hops):
+                if on_arrive is not None:
+                    on_arrive(probe, self.sim.now)
+                return
+            link = hops[index]
+            if link.failed:
+                probe.dropped = True
+                if on_drop is not None:
+                    on_drop(probe)
+                return
+            if on_hop is not None:
+                on_hop(payload, link, self.sim.now)
+            probe.hops_taken += 1
+            self.sim.schedule(link.delay(self.sim.now), traverse, index + 1)
+
+        self.sim.schedule(host_delay, traverse, 0)
+        return probe
+
+    def path_delay(self, path: Sequence[Link]) -> float:
+        """Instantaneous one-way delay along ``path`` (prop + queuing)."""
+        now = self.sim.now
+        return sum(link.delay(now) for link in path)
+
+    def path_rtt(self, path: Sequence[Link]) -> float:
+        """Instantaneous round-trip delay (forward queue + reverse queue)."""
+        return self.path_delay(path) + self.path_delay(self.topology.reverse_path(path))
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail_node(self, name: str) -> None:
+        self.failed_nodes.add(name)
+        for link in self.topology.links.values():
+            if link.src == name or link.dst == name:
+                link.failed = True
+        self.request_resolve()
+
+    def recover_node(self, name: str) -> None:
+        self.failed_nodes.discard(name)
+        for link in self.topology.links.values():
+            if link.src == name or link.dst == name:
+                link.failed = False
+        self.request_resolve()
+
+    def fail_link(self, src: str, dst: str) -> None:
+        self.topology.link(src, dst).failed = True
+        self.request_resolve()
+
+    # ------------------------------------------------------------------
+    # Sampling helpers for figures
+    # ------------------------------------------------------------------
+    def sample_rates(self, pair_ids: Iterable[str], period: float, until: float) -> None:
+        """Record delivered rate of each pair every ``period`` seconds."""
+        ids = list(pair_ids)
+        for pid in ids:
+            self.rate_samples.setdefault(pid, [])
+
+        def tick() -> None:
+            now = self.sim.now
+            for pid in ids:
+                if pid in self.pairs:
+                    self.rate_samples[pid].append((now, self.solver.delivered_rate(pid)))
+            if now + period <= until:
+                self.sim.schedule(period, tick)
+
+        self.sim.schedule(0.0, tick)
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+        # Sync all link queues to the horizon for consistent end-state reads.
+        for link in self.topology.links.values():
+            link.sync(self.sim.now)

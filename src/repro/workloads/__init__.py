@@ -1,0 +1,33 @@
+"""Workload generators: synthetic patterns, flow-size distributions,
+application models (Memcached/MongoDB, EBS), and tenant synthesis."""
+
+from repro.workloads.synthetic import (
+    OnOffDemand,
+    incast_pairs,
+    permutation_pairs,
+)
+from repro.workloads.flowsize import (
+    EmpiricalSize,
+    PoissonFlowGenerator,
+    WEB_SEARCH_CDF,
+    KEY_VALUE_CDF,
+)
+from repro.workloads.apps import (
+    EbsCluster,
+    RequestResponseApp,
+)
+from repro.workloads.tenants import TenantSpec, synthesize_tenants
+
+__all__ = [
+    "OnOffDemand",
+    "incast_pairs",
+    "permutation_pairs",
+    "EmpiricalSize",
+    "PoissonFlowGenerator",
+    "WEB_SEARCH_CDF",
+    "KEY_VALUE_CDF",
+    "RequestResponseApp",
+    "EbsCluster",
+    "TenantSpec",
+    "synthesize_tenants",
+]

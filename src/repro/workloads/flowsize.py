@@ -1,0 +1,126 @@
+"""Empirical flow-size distributions and Poisson flow generation.
+
+The paper's large-scale workload (section 5.5) draws flow sizes from an
+empirical DC distribution [7] (the CONGA/web-search workload) at target
+average link loads.  Sizes here are piecewise-linear inverse-CDF tables
+in bytes, matching the commonly used web-search and key-value shapes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.host import VMPair
+from repro.sim.messages import Message
+
+# (cumulative probability, size in bytes) — web-search-like mix of many
+# small flows and a heavy elephant tail (DCTCP/CONGA measurement shape).
+WEB_SEARCH_CDF: List[Tuple[float, float]] = [
+    (0.00, 1_000),
+    (0.15, 10_000),
+    (0.30, 30_000),
+    (0.50, 100_000),
+    (0.60, 300_000),
+    (0.70, 1_000_000),
+    (0.80, 2_000_000),
+    (0.90, 5_000_000),
+    (0.97, 10_000_000),
+    (1.00, 30_000_000),
+]
+
+# Key-value workload (Fig 13's Memcached sizes): mean ~2 KB, short tail.
+KEY_VALUE_CDF: List[Tuple[float, float]] = [
+    (0.00, 64),
+    (0.40, 512),
+    (0.70, 2_048),
+    (0.90, 4_096),
+    (0.99, 16_384),
+    (1.00, 65_536),
+]
+
+
+class EmpiricalSize:
+    """Sample sizes from a piecewise-linear CDF (bytes)."""
+
+    def __init__(self, cdf: Sequence[Tuple[float, float]]) -> None:
+        if not cdf or cdf[0][0] != 0.0 or cdf[-1][0] != 1.0:
+            raise ValueError("CDF must span probabilities 0.0 .. 1.0")
+        probs = [p for p, _ in cdf]
+        if probs != sorted(probs):
+            raise ValueError("CDF probabilities must be non-decreasing")
+        self.cdf = list(cdf)
+
+    def sample(self, rng: random.Random) -> float:
+        """One flow size in bytes (linear interpolation within bins)."""
+        u = rng.random()
+        probs = [p for p, _ in self.cdf]
+        idx = bisect.bisect_left(probs, u)
+        if idx == 0:
+            return self.cdf[0][1]
+        p0, s0 = self.cdf[idx - 1]
+        p1, s1 = self.cdf[idx]
+        if p1 == p0:
+            return s1
+        frac = (u - p0) / (p1 - p0)
+        return s0 + frac * (s1 - s0)
+
+    def mean(self) -> float:
+        """Mean size in bytes (trapezoid over the inverse CDF)."""
+        total = 0.0
+        for (p0, s0), (p1, s1) in zip(self.cdf, self.cdf[1:]):
+            total += (p1 - p0) * (s0 + s1) / 2.0
+        return total
+
+
+class PoissonFlowGenerator:
+    """Open-loop Poisson flow arrivals over a set of VM-pairs.
+
+    Each arrival enqueues one message (flow) on a uniformly random pair.
+    The arrival rate is chosen so the expected offered load equals
+    ``load`` of ``reference_capacity`` aggregated over the pair set.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pairs: Sequence[VMPair],
+        size_dist: EmpiricalSize,
+        load: float,
+        reference_capacity: float,
+        rng: Optional[random.Random] = None,
+        until: Optional[float] = None,
+    ) -> None:
+        if not pairs:
+            raise ValueError("need at least one pair")
+        self.sim = sim
+        self.pairs = list(pairs)
+        self.size_dist = size_dist
+        self.rng = rng or random.Random(0)
+        self.until = until
+        mean_bits = size_dist.mean() * 8.0
+        target_bps = load * reference_capacity
+        self.arrival_rate = target_bps / mean_bits  # flows per second
+        self.generated = 0
+        self._seq = 0
+        sim.schedule(self._next_gap(), self._arrive)
+
+    def _next_gap(self) -> float:
+        return self.rng.expovariate(self.arrival_rate)
+
+    def _arrive(self) -> None:
+        now = self.sim.now
+        if self.until is not None and now > self.until:
+            return
+        pair = self.rng.choice(self.pairs)
+        if pair.message_queue is not None:
+            self._seq += 1
+            size_bits = self.size_dist.sample(self.rng) * 8.0
+            pair.message_queue.enqueue(
+                Message(f"flow-{self._seq}", size_bits, now, meta={"pair": pair.pair_id})
+            )
+            self.generated += 1
+        self.sim.schedule(self._next_gap(), self._arrive)

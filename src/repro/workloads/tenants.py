@@ -1,0 +1,98 @@
+"""Tenant synthesis for the large-scale workload (section 5.5).
+
+"We generate tenant VFs with random minimum bandwidth guarantees.  The
+number of VMs per tenant and the number of destinations each VM
+communicates at runtime are synthesized from empirical production data
+centers [14]."  We model VM counts with the heavy-tailed distribution
+reported for production clusters (most tenants small, a few large) and
+pick communication peers uniformly.
+
+``synthesize_tenants`` also enforces the paper's feasibility condition
+(Silo-style admission): the sum of guarantees traversing any host link
+must not exceed its capacity, so the minimum bandwidth of all VFs is
+theoretically satisfiable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.host import VMPair
+
+
+@dataclasses.dataclass
+class TenantSpec:
+    """One synthesized tenant: VM placement and pairwise guarantees."""
+
+    name: str
+    vm_hosts: List[str]  # host of each VM
+    guarantee_tokens: float  # per-VM hose guarantee, in tokens
+    pairs: List[VMPair] = dataclasses.field(default_factory=list)
+
+
+def synthesize_tenants(
+    hosts: Sequence[str],
+    n_tenants: int,
+    unit_bandwidth: float,
+    host_capacity: float,
+    rng: Optional[random.Random] = None,
+    min_vms: int = 2,
+    max_vms: int = 8,
+    guarantee_choices_bps: Sequence[float] = (0.5e9, 1e9, 2e9),
+    peers_per_vm: int = 2,
+    max_host_subscription: float = 0.9,
+) -> List[TenantSpec]:
+    """Create tenants whose guarantees are feasible on every host link."""
+    rng = rng or random.Random(42)
+    hosts = list(hosts)
+    # Tokens already subscribed per host (hose-model ingress+egress).
+    subscription: Dict[str, float] = {h: 0.0 for h in hosts}
+    budget_tokens = max_host_subscription * host_capacity / unit_bandwidth
+
+    tenants: List[TenantSpec] = []
+    for t in range(n_tenants):
+        n_vms = rng.randint(min_vms, max_vms)
+        guarantee_bps = rng.choice(list(guarantee_choices_bps))
+        tokens = guarantee_bps / unit_bandwidth
+        # Place VMs on the least-subscribed hosts that still have room.
+        eligible = [h for h in hosts if subscription[h] + tokens <= budget_tokens]
+        if len(eligible) < 2:
+            break
+        eligible.sort(key=lambda h: subscription[h])
+        pool = eligible[: max(n_vms * 2, 4)]
+        vm_hosts = rng.sample(pool, min(n_vms, len(pool)))
+        for h in vm_hosts:
+            subscription[h] += tokens
+        tenant = TenantSpec(name=f"tenant-{t}", vm_hosts=vm_hosts, guarantee_tokens=tokens)
+        tenant.pairs = _make_pairs(tenant, rng, peers_per_vm)
+        tenants.append(tenant)
+    return tenants
+
+
+def _make_pairs(tenant: TenantSpec, rng: random.Random, peers_per_vm: int) -> List[VMPair]:
+    """VM-to-VM pairs: each VM talks to a few random peers; the hose
+    guarantee is split evenly across a VM's pairs (static GP)."""
+    pairs: List[VMPair] = []
+    n = len(tenant.vm_hosts)
+    if n < 2:
+        return pairs
+    for i, src in enumerate(tenant.vm_hosts):
+        others = [j for j in range(n) if j != i and tenant.vm_hosts[j] != src]
+        if not others:
+            continue
+        peers = rng.sample(others, min(peers_per_vm, len(others)))
+        per_pair_tokens = tenant.guarantee_tokens / len(peers)
+        for j in peers:
+            dst = tenant.vm_hosts[j]
+            pairs.append(
+                VMPair(
+                    pair_id=f"{tenant.name}:vm{i}->vm{j}",
+                    vf=tenant.name,
+                    src_host=src,
+                    dst_host=dst,
+                    phi=per_pair_tokens,
+                )
+            )
+    return pairs

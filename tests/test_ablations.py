@@ -1,0 +1,51 @@
+"""Tests for the section-6 ablations and extensions."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_explicit_rate_only_loses_work_conservation():
+    results = {r.mode: r for r in ablations.run_explicit_rate_ablation(duration=0.03)}
+    full = results["ufab"]
+    eqn1 = results["eqn1-only"]
+    # Guarantee side: both respect the demand-limited pair.
+    assert full.limited_pair_rate == pytest.approx(1e9, rel=0.1)
+    assert eqn1.limited_pair_rate == pytest.approx(1e9, rel=0.1)
+    # Work conservation: full uFAB fills the pipe; Eqn-1-only cannot.
+    assert full.backlogged_pair_rate > 2.0 * eqn1.backlogged_pair_rate
+    assert full.utilization > 0.9
+    assert eqn1.utilization < 0.5
+
+
+def test_partial_deployment_degrades_gracefully():
+    results = ablations.run_partial_deployment(fractions=(1.0, 0.0), duration=0.06)
+    by = {r.fraction: r for r in results}
+    # Full deployment beats none; with no core info, dissatisfaction grows.
+    assert by[1.0].dissatisfaction_ratio <= by[0.0].dissatisfaction_ratio + 0.02
+
+
+def test_bloom_undersizing_increases_false_positives():
+    results = ablations.run_bloom_sensitivity(
+        bloom_bits=(160 * 1024, 8), duration=0.03, n_pairs=16
+    )
+    big, tiny = results
+    assert tiny.false_positives > big.false_positives
+    assert tiny.phi_undercount >= big.phi_undercount
+
+
+def test_headroom_trades_utilization_for_queues():
+    results = ablations.run_headroom_sweep(etas=(0.90, 0.99), duration=0.03)
+    lo, hi = results
+    assert lo.utilization < hi.utilization
+    assert lo.utilization == pytest.approx(0.90, abs=0.04)
+    assert hi.utilization == pytest.approx(0.99, abs=0.04)
+
+
+def test_multipath_split_exceeds_single_path():
+    r = ablations.run_multipath_split(duration=0.03)
+    # A single 5G path cannot serve the 8G guarantee; the Algorithm-2
+    # split over two paths can.
+    assert r.single_path_rate < 5.2e9
+    assert r.multipath_rate > 1.5 * r.single_path_rate
+    assert sum(r.split_tokens) <= 2 * 8000 + 1e-6

@@ -1,0 +1,46 @@
+"""Tests for the figure-regeneration CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_list_prints_all_commands(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out
+
+
+def test_no_command_defaults_to_list(capsys):
+    assert main([]) == 0
+    assert "available figures" in capsys.readouterr().out
+
+
+def test_parser_accepts_duration_override():
+    args = build_parser().parse_args(["fig4", "--duration", "0.005"])
+    assert args.duration == 0.005
+    assert args.command == "fig4"
+
+
+def test_tables_command_runs(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out and "Table 4" in out
+
+
+def test_overhead_command_runs(capsys):
+    assert main(["overhead"]) == 0
+    assert "1.25" in capsys.readouterr().out  # the saturation plateau
+
+
+def test_fig4_command_tiny_run(capsys):
+    assert main(["fig4", "--duration", "0.004", "--degrees", "2",
+                 "--schemes", "ufab"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out and "ufab" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nope"])

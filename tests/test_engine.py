@@ -1,0 +1,128 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3e-3, seen.append, "c")
+    sim.schedule(1e-3, seen.append, "a")
+    sim.schedule(2e-3, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(1e-3, seen.append, tag)
+    sim.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(5e-3, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [pytest.approx(5e-3)]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1e-3, seen.append, "early")
+    sim.schedule(10e-3, seen.append, "late")
+    sim.run(until=5e-3)
+    assert seen == ["early"]
+    assert sim.now == pytest.approx(5e-3)  # clock advanced to horizon
+    sim.run(until=20e-3)
+    assert seen == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sim = Simulator()
+    sim.run(until=2.0)
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    ev = sim.schedule(1e-3, seen.append, "x")
+    ev.cancel()
+    sim.run()
+    assert seen == []
+    assert sim.events_processed == 0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1e-3, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(0.0, lambda: None)
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            sim.schedule(1e-3, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sim.now == pytest.approx(5e-3)
+
+
+def test_stop_halts_the_loop():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1e-3, lambda: (seen.append(1), sim.stop()))
+    sim.schedule(2e-3, seen.append, 2)
+    sim.run()
+    assert seen == [(1, None)] or seen[0] is not None  # first fired
+    assert len(seen) == 1
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(i * 1e-3, lambda: None)
+    sim.run(max_events=4)
+    assert sim.events_processed == 4
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    ev1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    ev1.cancel()
+    assert sim.pending() == 1
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+def test_arbitrary_delays_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda: fired.append(sim.now))
+    sim.run()
+    assert len(fired) == len(delays)
+    assert fired == sorted(fired)

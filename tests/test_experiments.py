@@ -1,0 +1,94 @@
+"""Smoke + shape tests for the experiment runners (scaled way down).
+
+The benchmarks regenerate the paper's figures at realistic scale; these
+tests check that every runner executes and that the headline *shape*
+properties hold even on tiny runs.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import appc_theory, case1_incast, case2_migration
+from repro.experiments import fig11_guarantee, fig12_incast, fig15_hardware
+from repro.experiments import fig18_sensitivity, motivation
+
+
+def test_case1_ufab_bounds_incast_tail():
+    r = case1_incast.run_one("ufab", degree=8, duration=0.01)
+    assert r.p999 <= 2.0 * case1_incast.latency_bound(8)
+    assert r.median == pytest.approx(24e-6, rel=0.3)
+
+
+def test_case1_pwc_tail_grows_with_degree():
+    small = case1_incast.run_one("pwc", degree=4, duration=0.01)
+    large = case1_incast.run_one("pwc", degree=12, duration=0.01)
+    assert large.p999 > small.p999
+
+
+def test_case2_ufab_keeps_guarantees():
+    r = case2_migration.run_one("ufab", duration=0.06, join_time=0.02)
+    assert r.f1_satisfied_after_join and r.f4_satisfied_after_join
+    assert r.migrations_f4 == 0
+
+
+def test_case2_pwc_breaks_guarantee_and_oscillates():
+    r = case2_migration.run_one("pwc", flowlet_gap_s=36e-6, duration=0.06,
+                                join_time=0.02)
+    assert not r.f1_satisfied_after_join
+    assert r.migrations_f4 > 3
+
+
+def test_fig11_ufab_low_dissatisfaction_and_queue():
+    r = fig11_guarantee.run_one("ufab", duration=0.08, join_interval=0.005)
+    assert r.dissatisfaction_ratio < 0.08
+    assert r.queue_cdf.p(99) < 50e3  # bits
+
+
+def test_fig12_prime_tail_worse_than_ufab():
+    prime = fig12_incast.run_one("ufab-prime", duration=0.02)
+    full = fig12_incast.run_one("ufab", duration=0.02)
+    assert full.p99 <= prime.p99
+    assert full.p99 <= 2.0 * fig12_incast.latency_bound()
+
+
+def test_fig15_failure_recovery():
+    r = fig15_hardware.run(duration=0.06, join_interval=0.004, failure_time=0.04)
+    finite = [v for v in r.recovered_within.values() if math.isfinite(v)]
+    assert finite, "some pair should re-satisfy its guarantee"
+    assert min(finite) < 0.02
+    assert r.overhead_bound_percent == pytest.approx(1.28, abs=0.1)
+
+
+def test_fig18_freeze_window_runs():
+    results = fig18_sensitivity.run_freeze_window(
+        windows=((1, 2), (1, 10)), loads=(0.5,), duration=0.02
+    )
+    assert len(results) == 2
+    assert all(r.migrations >= 0 for r in results)
+
+
+def test_fig18_probing_frequency_runs():
+    results = fig18_sensitivity.run_probing_frequency(
+        periods_rtts=(0.0, 2.0), duration=0.012
+    )
+    labels = {r.label for r in results}
+    assert labels == {"self-clocking", "2 RTT"}
+    assert all(math.isfinite(r.convergence_time) for r in results)
+
+
+def test_theory_dual_converges():
+    r = appc_theory.run_dual_convergence(steps=200)
+    assert r.final_error < 0.05
+    assert r.iterations_to_5pct < 200
+
+
+def test_theory_primal_reaction_within_bounds():
+    r = appc_theory.run_primal_reaction()
+    assert r.reaction_rtts < 8.0
+    assert r.peak_queue_bdp <= 3.5
+
+
+def test_motivation_polarization_imbalance():
+    r = motivation.run_polarization(n_flows=48, duration=0.01)
+    assert r.polarized_imbalance > r.healthy_imbalance

@@ -1,0 +1,117 @@
+"""Unit tests for the fluid link model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.link import Link
+
+
+def make_link(capacity=10e9, **kw):
+    return Link("sw1->sw2", "sw1", "sw2", capacity, **kw)
+
+
+def test_queue_grows_at_excess_rate():
+    link = make_link()
+    link.set_inflow(0.0, 12e9)  # 2 Gbps excess
+    link.sync(1e-3)
+    assert link.queue == pytest.approx(2e9 * 1e-3)
+
+
+def test_queue_drains_when_underloaded():
+    link = make_link()
+    link.set_inflow(0.0, 12e9)
+    link.sync(1e-3)  # 2 Mbit queued
+    link.set_inflow(1e-3, 5e9)  # 5 Gbps drain rate
+    link.sync(1.2e-3)
+    assert link.queue == pytest.approx(2e6 - 5e9 * 0.2e-3)
+
+
+def test_queue_never_negative():
+    link = make_link()
+    link.set_inflow(0.0, 1e9)
+    link.sync(10.0)
+    assert link.queue == 0.0
+
+
+def test_tx_rate_is_inflow_when_no_queue():
+    link = make_link()
+    link.set_inflow(0.0, 4e9)
+    assert link.tx_rate(1e-3) == pytest.approx(4e9)
+
+
+def test_tx_rate_is_capacity_when_queued():
+    link = make_link()
+    link.set_inflow(0.0, 15e9)
+    link.sync(1e-3)
+    assert link.tx_rate(1e-3) == pytest.approx(10e9)
+
+
+def test_delay_includes_queueing():
+    link = make_link(prop_delay=2e-6)
+    link.set_inflow(0.0, 20e9)
+    link.sync(1e-3)  # queue = 10 Gbit*ms = 1e7 bits
+    expected_queuing = link.queue / 10e9
+    assert link.delay(1e-3) == pytest.approx(2e-6 + expected_queuing)
+
+
+def test_utilization_bounded():
+    link = make_link()
+    link.set_inflow(0.0, 25e9)
+    assert link.utilization(1e-3) == pytest.approx(1.0)
+    link.set_inflow(1e-3, 2.5e9)
+    link.sync(2.0)  # drain fully
+    assert link.utilization(2.0) == pytest.approx(0.25)
+
+
+def test_finite_queue_drops_excess():
+    link = make_link(max_queue=1e6)
+    link.set_inflow(0.0, 20e9)
+    link.sync(1e-3)  # 10 Mbit excess, 1 Mbit fits
+    assert link.queue == pytest.approx(1e6)
+    assert link.dropped_bits == pytest.approx(1e7 - 1e6)
+
+
+def test_peak_queue_tracked():
+    link = make_link()
+    link.set_inflow(0.0, 20e9)
+    link.sync(1e-3)
+    peak = link.queue
+    link.set_inflow(1e-3, 0.0)
+    link.sync(1.0)
+    assert link.queue == 0.0
+    assert link.peak_queue == pytest.approx(peak)
+
+
+def test_delivered_bits_accounting():
+    link = make_link()
+    link.set_inflow(0.0, 5e9)
+    link.sync(2e-3)
+    assert link.delivered_bits == pytest.approx(5e9 * 2e-3)
+
+
+def test_sync_is_idempotent_at_same_time():
+    link = make_link()
+    link.set_inflow(0.0, 12e9)
+    link.sync(1e-3)
+    q = link.queue
+    link.sync(1e-3)
+    assert link.queue == q
+
+
+@given(
+    rates=st.lists(st.floats(min_value=0, max_value=50e9), min_size=1, max_size=20),
+    step=st.floats(min_value=1e-6, max_value=1e-3),
+)
+def test_conservation_under_random_inflow_schedule(rates, step):
+    """offered = delivered + queued + dropped at all times."""
+    link = Link("l", "a", "b", 10e9, max_queue=5e6)
+    offered = 0.0
+    t = 0.0
+    for rate in rates:
+        link.set_inflow(t, rate)
+        t += step
+        link.sync(t)
+        offered += rate * step
+    total = link.delivered_bits + link.queue + link.dropped_bits
+    assert total == pytest.approx(offered, rel=1e-9, abs=1e-3)
+    assert link.queue >= 0.0

@@ -1,0 +1,169 @@
+"""Unit tests for the message-backlog model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.messages import Message, MessageQueue
+
+
+def test_single_message_completes_at_expected_time():
+    sim = Simulator()
+    q = MessageQueue(sim)
+    q.set_rate(1e9)
+    q.enqueue(Message("m", 1e6, sim.now))  # 1 Mbit at 1 Gbps -> 1 ms
+    sim.run()
+    assert len(q.completed) == 1
+    assert q.completed[0].complete_time == pytest.approx(1e-3)
+    assert q.completed[0].fct == pytest.approx(1e-3)
+
+
+def test_fifo_order():
+    sim = Simulator()
+    q = MessageQueue(sim)
+    q.set_rate(1e9)
+    q.enqueue(Message("a", 1e6, 0.0))
+    q.enqueue(Message("b", 2e6, 0.0))
+    sim.run()
+    assert [m.msg_id for m in q.completed] == ["a", "b"]
+    assert q.completed[1].complete_time == pytest.approx(3e-3)
+
+
+def test_rate_change_mid_message():
+    sim = Simulator()
+    q = MessageQueue(sim)
+    q.set_rate(1e9)
+    q.enqueue(Message("m", 2e6, 0.0))  # would take 2 ms at 1 Gbps
+    sim.schedule(1e-3, q.set_rate, 2e9)  # halfway done, then 2x speed
+    sim.run()
+    # 1 Mbit remaining at 2 Gbps = 0.5 ms more.
+    assert q.completed[0].complete_time == pytest.approx(1.5e-3)
+
+
+def test_zero_rate_stalls():
+    sim = Simulator()
+    q = MessageQueue(sim)
+    q.enqueue(Message("m", 1e6, 0.0))
+    sim.run(until=1.0)
+    assert q.completed == []
+    q.set_rate(1e9)
+    sim.run()
+    assert q.completed[0].complete_time == pytest.approx(1.0 + 1e-3)
+
+
+def test_backlog_accounting():
+    sim = Simulator()
+    q = MessageQueue(sim)
+    q.enqueue(Message("a", 1e6, 0.0))
+    q.enqueue(Message("b", 3e6, 0.0))
+    assert q.backlog_bits() == pytest.approx(4e6)
+    q.set_rate(1e9)
+    sim.run(until=0.5e-3)
+    assert q.backlog_bits() == pytest.approx(3.5e6)
+
+
+def test_on_complete_callback():
+    sim = Simulator()
+    done = []
+    q = MessageQueue(sim, on_complete=lambda m: done.append(m.msg_id))
+    q.set_rate(1e9)
+    q.enqueue(Message("m", 1e3, 0.0))
+    sim.run()
+    assert done == ["m"]
+
+
+def test_empty_and_nonempty_callbacks():
+    sim = Simulator()
+    events = []
+    q = MessageQueue(
+        sim,
+        on_empty=lambda: events.append("empty"),
+        on_nonempty=lambda: events.append("nonempty"),
+    )
+    q.set_rate(1e9)
+    q.enqueue(Message("a", 1e3, 0.0))
+    sim.run()
+    q.enqueue(Message("b", 1e3, sim.now))
+    sim.run()
+    assert events == ["nonempty", "empty", "nonempty", "empty"]
+
+
+def test_no_infinite_loop_on_float_residue():
+    """Regression: sub-bit residue must not respawn zero-delay timers."""
+    sim = Simulator()
+    q = MessageQueue(sim)
+    q.set_rate(9.7e9)  # rate that doesn't divide sizes evenly
+    for i in range(50):
+        q.enqueue(Message(f"m{i}", 64_000 * 8 + 0.3, 0.0))
+    sim.run(max_events=100_000)
+    assert len(q.completed) == 50
+
+
+def test_pending_count():
+    sim = Simulator()
+    q = MessageQueue(sim)
+    q.enqueue(Message("a", 8_000.0, 0.0))
+    q.enqueue(Message("b", 8_000.0, 0.0))
+    assert q.pending() == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=100, max_value=1e7), min_size=1, max_size=20),
+    rate=st.floats(min_value=1e6, max_value=100e9),
+)
+def test_total_service_time_matches_sum_of_sizes(sizes, rate):
+    sim = Simulator()
+    q = MessageQueue(sim)
+    q.set_rate(rate)
+    for i, size in enumerate(sizes):
+        q.enqueue(Message(f"m{i}", size, 0.0))
+    sim.run()
+    assert len(q.completed) == len(sizes)
+    expected = sum(sizes) / rate
+    assert q.completed[-1].complete_time == pytest.approx(expected, rel=1e-6)
+    # Completions are FIFO and non-decreasing in time.
+    times = [m.complete_time for m in q.completed]
+    assert times == sorted(times)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    changes=st.lists(
+        st.tuples(
+            st.floats(min_value=1e-6, max_value=1e-3),
+            st.floats(min_value=0, max_value=20e9),
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_completion_consistent_under_rate_churn(changes):
+    """The message finishes exactly when its integral of rate = size."""
+    sim = Simulator()
+    q = MessageQueue(sim)
+    size = 5e6
+    q.enqueue(Message("m", size, 0.0))
+    t = 0.0
+    for delay, rate in changes:
+        sim.at(t, q.set_rate, rate)
+        t += delay
+    sim.at(t, q.set_rate, 10e9)  # guarantee completion
+    sim.run()
+    assert len(q.completed) == 1
+    done = q.completed[0].complete_time
+    # Integrate the schedule up to `done`; should equal the size.
+    service = 0.0
+    now = 0.0
+    current = 0.0
+    schedule = []
+    tt = 0.0
+    for delay, rate in changes:
+        schedule.append((tt, rate))
+        tt += delay
+    schedule.append((tt, 10e9))
+    for (t0, rate), (t1, _) in zip(schedule, schedule[1:] + [(done, 0.0)]):
+        if t0 >= done:
+            break
+        service += rate * (min(t1, done) - t0)
+    assert service == pytest.approx(size, rel=1e-6, abs=2.0)

@@ -1,0 +1,140 @@
+"""Unit tests for the analysis / metrics machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.metrics import (
+    Cdf,
+    GuaranteeAuditor,
+    QueueSampler,
+    RttSampler,
+    fct_slowdown,
+    percentile,
+)
+from repro.analysis.report import format_series, format_table
+from repro.core.edge import install_ufab
+from repro.core.params import UFabParams
+from repro.sim.host import VMPair
+from repro.sim.network import Network
+from repro.sim.topology import dumbbell
+
+
+def test_percentile_basics():
+    data = list(range(1, 101))
+    assert percentile(data, 50) == pytest.approx(50.5)
+    assert percentile(data, 0) == 1
+    assert percentile(data, 100) == 100
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_empty_rejected():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_cdf_points_and_fraction():
+    cdf = Cdf()
+    cdf.extend([1, 2, 3, 4, 5])
+    points = cdf.points(n=4)
+    assert points[0][0] == 1 and points[-1][0] == 5
+    assert cdf.fraction_above(3) == pytest.approx(0.4)
+    assert cdf.fraction_above(10) == 0.0
+    assert len(cdf) == 5
+
+
+def test_cdf_empty():
+    cdf = Cdf()
+    assert cdf.points() == []
+    assert cdf.fraction_above(1.0) == 0.0
+
+
+def test_fct_slowdown():
+    # 1 Mbit at a 1 Gbps guarantee should take 1 ms; taking 3 ms -> 3x.
+    assert fct_slowdown(3e-3, 1e6, 1e9) == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        fct_slowdown(1.0, 0.0, 1e9)
+
+
+@settings(max_examples=40)
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_percentile_monotone_in_p(values):
+    ps = [percentile(values, p) for p in (0, 25, 50, 75, 99, 100)]
+    assert ps == sorted(ps)
+    assert min(values) <= ps[0] and ps[-1] <= max(values)
+
+
+# ----------------------------------------------------------------------
+# Samplers on a live simulation
+# ----------------------------------------------------------------------
+
+def build():
+    net = Network(dumbbell(n_pairs=2))
+    fabric = install_ufab(net, UFabParams())
+    return net, fabric
+
+
+def test_rtt_sampler_records_base_rtt_when_uncongested():
+    net, fabric = build()
+    fabric.add_pair(VMPair("p0", "vf0", "src0", "dst0", phi=1000))
+    sampler = RttSampler(net, ["p0"], period=1e-3)
+    sampler.start(0.02)
+    net.run(0.02)
+    assert len(sampler.rtts) >= 10
+    base = net.topology.base_rtt(net.path_of("p0"))
+    assert sampler.rtts.p(50) == pytest.approx(base, rel=0.2)
+
+
+def test_guarantee_auditor_detects_violation():
+    net, fabric = build()
+    # Two pairs whose guarantees (7G + 7G) cannot both fit in 10G.
+    fabric.add_pair(VMPair("p0", "vf0", "src0", "dst0", phi=7000))
+    fabric.add_pair(VMPair("p1", "vf1", "src1", "dst1", phi=7000))
+    auditor = GuaranteeAuditor(net, {"p0": 7e9, "p1": 7e9}, period=1e-3)
+    auditor.start(0.03)
+    net.run(0.03)
+    assert auditor.dissatisfaction_ratio > 0.1
+
+
+def test_guarantee_auditor_near_zero_when_feasible():
+    net, fabric = build()
+    fabric.add_pair(VMPair("p0", "vf0", "src0", "dst0", phi=4000))
+    fabric.add_pair(VMPair("p1", "vf1", "src1", "dst1", phi=4000))
+    auditor = GuaranteeAuditor(net, {"p0": 4e9, "p1": 4e9}, period=1e-3)
+    auditor.start(0.03)
+    net.run(0.03)
+    assert auditor.dissatisfaction_ratio < 0.05
+
+
+def test_queue_sampler_sees_buildup():
+    net, fabric = build()
+    link = net.topology.link("SW1", "SW2")
+    sampler = QueueSampler(net, ["SW1->SW2"], period=1e-3)
+    sampler.start(0.01)
+    link.set_inflow(0.0, 15e9)  # force a queue by hand
+    net.run(0.01)
+    assert sampler.queue_bits.p(99) > 0
+
+
+# ----------------------------------------------------------------------
+# Report formatting
+# ----------------------------------------------------------------------
+
+def test_format_table_alignment():
+    out = format_table("T", ["col", "x"], [["a", 1.5], ["bb", 22222.0]])
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "col" in lines[2]
+    assert len(lines) == 5
+
+
+def test_format_series_downsamples():
+    series = {"s": [(i * 0.1, float(i)) for i in range(100)]}
+    out = format_series("title", series, max_points=5)
+    assert "title" in out
+    assert out.count(":") <= 30
+
+
+def test_format_series_empty():
+    assert "(no data)" in format_series("t", {"empty": []})

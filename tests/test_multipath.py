@@ -1,0 +1,62 @@
+"""Unit tests for the multipath token split (Appendix F, Algorithm 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multipath import PathDemand, multipath_assignment
+
+BU = 1e6
+
+
+def paths_with(*tx_rates):
+    return [PathDemand(path_id=f"p{i}", tx_rate=tx) for i, tx in enumerate(tx_rates)]
+
+
+def test_equal_split_when_all_paths_demanding():
+    ps = paths_with(10e9, 10e9, 10e9)
+    multipath_assignment(3000, ps, BU)
+    assert all(p.phi == pytest.approx(1000) for p in ps)
+
+
+def test_under_demanded_path_keeps_fair_share():
+    """Line 7: boost demand growth — the quiet path keeps phi_s/N."""
+    ps = paths_with(10e9, 100 * BU)  # second path uses only 100 tokens
+    multipath_assignment(2000, ps, BU)
+    assert ps[1].phi == pytest.approx(1000)
+    assert ps[0].phi == pytest.approx(1000 + (1000 - 100))
+
+
+def test_single_path_gets_everything():
+    ps = paths_with(5e9)
+    multipath_assignment(777, ps, BU)
+    assert ps[0].phi == pytest.approx(777)
+
+
+def test_empty_path_list():
+    assert multipath_assignment(100, [], BU) == []
+
+
+def test_all_paths_idle():
+    ps = paths_with(0.0, 0.0)
+    multipath_assignment(1000, ps, BU)
+    # Everyone bounded: all keep the fair share (2x over-assignment cap).
+    assert all(p.phi == pytest.approx(500) for p in ps)
+
+
+@settings(max_examples=60)
+@given(
+    phi=st.floats(min_value=1, max_value=1e5),
+    tx=st.lists(st.floats(min_value=0, max_value=100e9), min_size=1, max_size=8),
+)
+def test_invariants(phi, tx):
+    ps = paths_with(*tx)
+    multipath_assignment(phi, ps, BU)
+    fair = phi / len(ps)
+    # Every path gets at least the fair share (instant ramp headroom).
+    assert all(p.phi >= fair * (1 - 1e-9) for p in ps)
+    # Over-assignment bounded by 2x the pair's tokens.
+    assert sum(p.phi for p in ps) <= 2 * phi * (1 + 1e-9)
+    # Demanding paths all receive the same (fair + spare cut).
+    demanding = [p.phi for p in ps if p.tx_rate / BU >= fair]
+    if len(demanding) >= 2:
+        assert max(demanding) == pytest.approx(min(demanding))

@@ -1,0 +1,160 @@
+"""Unit tests for the Network layer: probe transit, failures, resolves."""
+
+import pytest
+
+from repro.sim.host import VMPair
+from repro.sim.network import Network
+from repro.sim.topology import dumbbell, three_tier_testbed
+
+
+def build(n=2):
+    return Network(dumbbell(n_pairs=n))
+
+
+def test_register_and_rates():
+    net = build()
+    pair = VMPair("p0", "vf0", "src0", "dst0", phi=100)
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.register_pair(pair, path)
+    net.set_pair_rate("p0", 3e9)
+    net.resolve_now()
+    assert net.delivered_rate("p0") == pytest.approx(3e9)
+
+
+def test_duplicate_pair_rejected():
+    net = build()
+    pair = VMPair("p0", "vf0", "src0", "dst0")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.register_pair(pair, path)
+    with pytest.raises(ValueError):
+        net.register_pair(pair, path)
+
+
+def test_demand_caps_send_rate():
+    net = build()
+    pair = VMPair("p0", "vf0", "src0", "dst0", demand_bps=1e9)
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.register_pair(pair, path)
+    net.set_pair_rate("p0", 8e9)
+    net.resolve_now()
+    assert net.delivered_rate("p0") == pytest.approx(1e9)
+
+
+def test_probe_traverses_with_propagation_delay():
+    net = build()
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    arrivals = []
+    net.send_probe(path, payload=None, on_arrive=lambda p, t: arrivals.append(t))
+    net.run(1.0)
+    expected = sum(l.prop_delay for l in path)
+    assert arrivals == [pytest.approx(expected)]
+
+
+def test_probe_delayed_by_queues():
+    net = build()
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    # Build a queue on the bottleneck before probing.
+    bottleneck = net.topology.link("SW1", "SW2")
+    bottleneck.set_inflow(0.0, 20e9)
+    net.sim.run(until=1e-3)
+    bottleneck.sync(1e-3)
+    arrivals = []
+    net.send_probe(path, None, on_arrive=lambda p, t: arrivals.append(t))
+    net.run(1.0)
+    base = sum(l.prop_delay for l in path)
+    assert arrivals[0] > 1e-3 + base  # queuing delay included
+
+
+def test_probe_hop_callbacks_fire_in_path_order():
+    net = build()
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    seen = []
+    net.send_probe(path, "x", on_hop=lambda pl, link, t: seen.append(link.name))
+    net.run(1.0)
+    assert seen == [l.name for l in path]
+
+
+def test_probe_dropped_on_failed_link():
+    net = build()
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.fail_link("SW1", "SW2")
+    dropped = []
+    arrived = []
+    net.send_probe(path, None,
+                   on_arrive=lambda p, t: arrived.append(t),
+                   on_drop=lambda p: dropped.append(p))
+    net.run(1.0)
+    assert arrived == []
+    assert len(dropped) == 1 and dropped[0].dropped
+
+
+def test_fail_and_recover_node():
+    net = Network(three_tier_testbed())
+    net.fail_node("Core1")
+    assert net.topology.link("Agg1", "Core1").failed
+    net.recover_node("Core1")
+    assert not net.topology.link("Agg1", "Core1").failed
+
+
+def test_resolve_coalescing():
+    net = build()
+    pair = VMPair("p0", "vf0", "src0", "dst0")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.register_pair(pair, path)
+    before = net.sim.pending()
+    net.set_pair_rate("p0", 1e9)
+    net.set_pair_rate("p0", 2e9)
+    net.set_pair_rate("p0", 3e9)
+    # The three updates coalesce into the single already-pending resolve.
+    assert net.sim.pending() == before
+    net.run(0.001)
+    assert net.delivered_rate("p0") == pytest.approx(3e9)
+
+
+def test_resolve_interval_defers():
+    net = build()
+    net.resolve_interval = 1e-3
+    pair = VMPair("p0", "vf0", "src0", "dst0")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.register_pair(pair, path)
+    net.run(2e-3)
+    net.set_pair_rate("p0", 5e9)
+    net.run(2.1e-3)  # under the resolve interval since the last resolve
+    # Resolution happens by the interval boundary.
+    net.run(4e-3)
+    assert net.delivered_rate("p0") == pytest.approx(5e9)
+
+
+def test_migrate_pair_moves_traffic():
+    net = Network(three_tier_testbed())
+    paths = net.topology.shortest_paths("S1", "S5")[:2]
+    pair = VMPair("p0", "vf0", "S1", "S5")
+    net.register_pair(pair, paths[0])
+    net.set_pair_rate("p0", 5e9)
+    net.resolve_now()
+    net.migrate_pair("p0", paths[1])
+    net.resolve_now()
+    assert paths[1][1].inflow > 0 or paths[1][2].inflow > 0
+    assert net.path_of("p0") == tuple(paths[1])
+
+
+def test_sample_rates_collects_series():
+    net = build()
+    pair = VMPair("p0", "vf0", "src0", "dst0")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.register_pair(pair, path)
+    net.set_pair_rate("p0", 2e9)
+    net.sample_rates(["p0"], period=1e-3, until=0.01)
+    net.run(0.01)
+    assert len(net.rate_samples["p0"]) >= 9
+    assert all(r == pytest.approx(2e9) for _, r in net.rate_samples["p0"][1:])
+
+
+def test_unregister_pair_removes_flow():
+    net = build()
+    pair = VMPair("p0", "vf0", "src0", "dst0")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.register_pair(pair, path)
+    net.unregister_pair("p0")
+    assert "p0" not in net.pairs
+    assert pair not in net.hosts["src0"].pairs

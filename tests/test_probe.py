@@ -1,0 +1,125 @@
+"""Unit tests for the probe wire format (Appendix G / Figure 22)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.probe import (
+    QUEUE_UNIT_BITS,
+    SPEED_CODES,
+    TX_UNIT_BPS,
+    WINDOW_UNIT_BITS,
+    HopRecord,
+    ProbeHeader,
+    ProbeKind,
+    decode_probe,
+    encode_probe,
+    probe_wire_size,
+    speed_code,
+)
+
+
+def make_hop(**kw):
+    defaults = dict(window_total=120e3, phi_total=5000, tx_rate=8e9,
+                    queue=50e3, capacity=10e9)
+    defaults.update(kw)
+    return HopRecord(**defaults)
+
+
+def test_roundtrip_single_hop():
+    header = ProbeHeader(kind=ProbeKind.PROBE, pair_id="p", phi=2000, window=1e5,
+                         hops=[make_hop()])
+    decoded = decode_probe(encode_probe(header), pair_id="p")
+    assert decoded.kind == ProbeKind.PROBE
+    assert decoded.phi == 2000
+    hop = decoded.hops[0]
+    assert hop.window_total == pytest.approx(120e3, abs=WINDOW_UNIT_BITS)
+    assert hop.phi_total == pytest.approx(5000, abs=1)
+    assert hop.tx_rate == pytest.approx(8e9, abs=TX_UNIT_BPS)
+    assert hop.queue == pytest.approx(50e3, abs=QUEUE_UNIT_BITS)
+    assert hop.capacity == 10e9
+
+
+def test_wire_length_matches_layout():
+    header = ProbeHeader(kind=ProbeKind.RESPONSE, pair_id="p", phi=1, window=0,
+                         hops=[make_hop()] * 5)
+    data = encode_probe(header)
+    assert len(data) == 4 + 8 * 5  # Figure 22: 4-byte header + 64 bits/hop
+
+
+def test_five_hop_probe_under_100_bytes():
+    """Section 4.2: telemetry for a 5-hop DCN is < 100 bytes total."""
+    assert probe_wire_size(5) < 100
+
+
+def test_all_kinds_roundtrip():
+    for kind in ProbeKind:
+        header = ProbeHeader(kind=kind, pair_id="p", phi=0, window=0)
+        assert decode_probe(encode_probe(header)).kind == kind
+
+
+def test_too_many_hops_rejected():
+    header = ProbeHeader(kind=ProbeKind.PROBE, pair_id="p", phi=0, window=0,
+                         hops=[make_hop()] * 16)
+    with pytest.raises(ValueError):
+        encode_probe(header)
+
+
+def test_truncated_input_rejected():
+    header = ProbeHeader(kind=ProbeKind.PROBE, pair_id="p", phi=1, window=0,
+                         hops=[make_hop()])
+    data = encode_probe(header)
+    with pytest.raises(ValueError):
+        decode_probe(data[:3])
+    with pytest.raises(ValueError):
+        decode_probe(data[:-1])
+
+
+def test_speed_code_exact_and_snapped():
+    assert SPEED_CODES[speed_code(100e9)] == 100e9
+    assert SPEED_CODES[speed_code(90e9)] == 100e9  # snaps to nearest tier
+
+
+def test_phi_saturates_at_field_width():
+    header = ProbeHeader(kind=ProbeKind.PROBE, pair_id="p", phi=2 ** 30, window=0)
+    decoded = decode_probe(encode_probe(header))
+    assert decoded.phi == (1 << 24) - 1
+
+
+def test_queue_field_saturates():
+    header = ProbeHeader(kind=ProbeKind.PROBE, pair_id="p", phi=0, window=0,
+                         hops=[make_hop(queue=1e12)])
+    decoded = decode_probe(encode_probe(header))
+    assert decoded.hops[0].queue == ((1 << 12) - 1) * QUEUE_UNIT_BITS
+
+
+@settings(max_examples=60)
+@given(
+    phi=st.floats(min_value=0, max_value=1e6),
+    n_hops=st.integers(min_value=0, max_value=15),
+    data=st.data(),
+)
+def test_roundtrip_quantization_error_is_bounded(phi, n_hops, data):
+    hops = []
+    for _ in range(n_hops):
+        hops.append(
+            HopRecord(
+                window_total=data.draw(st.floats(min_value=0, max_value=5e8)),
+                phi_total=data.draw(st.floats(min_value=0, max_value=60000)),
+                tx_rate=data.draw(st.floats(min_value=0, max_value=400e9)),
+                queue=data.draw(st.floats(min_value=0, max_value=3e7)),
+                capacity=data.draw(st.sampled_from(sorted(SPEED_CODES.values()))),
+            )
+        )
+    header = ProbeHeader(kind=ProbeKind.PROBE, pair_id="x", phi=phi, window=0, hops=hops)
+    decoded = decode_probe(encode_probe(header))
+    assert decoded.n_hops == n_hops
+    assert decoded.phi == pytest.approx(min(phi, (1 << 24) - 1), abs=0.51)
+    for original, parsed in zip(hops, decoded.hops):
+        assert parsed.capacity == original.capacity
+        assert parsed.window_total == pytest.approx(
+            min(original.window_total, ((1 << 16) - 1) * WINDOW_UNIT_BITS),
+            abs=WINDOW_UNIT_BITS,
+        )
+        assert parsed.tx_rate == pytest.approx(
+            min(original.tx_rate, ((1 << 16) - 1) * TX_UNIT_BPS), abs=TX_UNIT_BPS
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for the hierarchical WFQ edge scheduler (section 4.1)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.scheduler import WeightedFairScheduler
+
+
+def test_single_pair_round_robin():
+    sched = WeightedFairScheduler()
+    sched.register("vf1", 1.0, "p1")
+    decisions = sched.serve(3)
+    assert decisions == [("vf1", "p1")] * 3
+
+
+def test_weighted_sharing_across_levels():
+    sched = WeightedFairScheduler(levels=[1.0, 2.0])
+    sched.register("light", 1.0, "lp")
+    sched.register("heavy", 2.0, "hp")
+    counts = Counter(vf for vf, _ in sched.serve(600))
+    # 2:1 service ratio, within rounding.
+    assert counts["heavy"] == pytest.approx(2 * counts["light"], rel=0.05)
+
+
+def test_vfs_on_same_level_round_robin():
+    sched = WeightedFairScheduler(levels=[1.0])
+    sched.register("a", 1.0, "pa")
+    sched.register("b", 1.0, "pb")
+    counts = Counter(vf for vf, _ in sched.serve(100))
+    assert counts["a"] == counts["b"]
+
+
+def test_pairs_within_vf_round_robin():
+    sched = WeightedFairScheduler(levels=[1.0])
+    sched.register("vf", 1.0, "p1")
+    sched.register("vf", 1.0, "p2")
+    counts = Counter(pair for _, pair in sched.serve(100))
+    assert counts["p1"] == counts["p2"]
+
+
+def test_weight_snapping_to_eight_levels():
+    sched = WeightedFairScheduler()  # default 1,2,4,...,128
+    assert sched.snap_weight(3.1) == 4.0
+    assert sched.snap_weight(0.2) == 1.0
+    assert sched.snap_weight(1000) == 128.0
+
+
+def test_unregister_removes_pair():
+    sched = WeightedFairScheduler(levels=[1.0])
+    sched.register("vf", 1.0, "p1")
+    sched.unregister("vf", "p1")
+    assert sched.next_pair() is None
+
+
+def test_unregister_unknown_is_noop():
+    sched = WeightedFairScheduler(levels=[1.0])
+    sched.unregister("ghost", "p")
+    sched.register("vf", 1.0, "p1")
+    sched.unregister("vf", "not-there")
+    assert sched.next_pair() == ("vf", "p1")
+
+
+def test_idle_queue_does_not_accumulate_credit():
+    """A queue that was empty re-enters at the current virtual time."""
+    sched = WeightedFairScheduler(levels=[1.0, 8.0])
+    sched.register("heavy", 8.0, "hp")
+    sched.serve(100)
+    sched.register("light", 1.0, "lp")
+    first_after = sched.serve(20)
+    # The light VF is served soon, but does not monopolize to 'catch up'.
+    light_count = sum(1 for vf, _ in first_after if vf == "light")
+    assert 1 <= light_count <= 6
+
+
+def test_three_way_weighted_ratio():
+    sched = WeightedFairScheduler(levels=[1.0, 2.0, 4.0])
+    sched.register("w1", 1.0, "a")
+    sched.register("w2", 2.0, "b")
+    sched.register("w4", 4.0, "c")
+    counts = Counter(vf for vf, _ in sched.serve(1400))
+    assert counts["w4"] / counts["w1"] == pytest.approx(4.0, rel=0.1)
+    assert counts["w2"] / counts["w1"] == pytest.approx(2.0, rel=0.1)
+
+
+def test_requires_levels():
+    with pytest.raises(ValueError):
+        WeightedFairScheduler(levels=[])
+
+
+def test_empty_scheduler_returns_none():
+    assert WeightedFairScheduler().next_pair() is None

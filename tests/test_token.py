@@ -1,0 +1,145 @@
+"""Unit tests for token assignment (Appendix E, Algorithm 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.token import (
+    UNBOUND,
+    PairDemand,
+    TokenManager,
+    token_admission,
+    token_assignment,
+)
+
+BU = 1e6  # unit bandwidth
+
+
+def pairs_with(*tx_rates):
+    return [PairDemand(pair_id=f"p{i}", tx_rate=tx) for i, tx in enumerate(tx_rates)]
+
+
+def test_equal_split_with_equal_demands():
+    ps = pairs_with(5e9, 5e9, 5e9, 5e9)
+    token_assignment(4000, ps, BU)
+    assert all(p.phi_sender == pytest.approx(1000) for p in ps)
+
+
+def test_fig21a_sufficient_demand_example():
+    """Figure 21a: equal distribution when all pairs have demand."""
+    ps = pairs_with(10e9, 10e9, 10e9)
+    token_assignment(3000, ps, BU)
+    assert [p.phi_sender for p in ps] == pytest.approx([1000, 1000, 1000])
+
+
+def test_fig21b_insufficient_demand_redistributes():
+    """Figure 21b: a pair with tiny demand epsilon keeps its fair share
+    (instant ramp) while its spare goes to the others."""
+    epsilon = 10 * BU  # 10 tokens of demand
+    ps = pairs_with(20e9, 20e9, epsilon)
+    token_assignment(3000, ps, BU)
+    fair = 1000.0
+    spare = fair - 10.0
+    assert ps[2].phi_sender == pytest.approx(fair)  # boost option
+    assert ps[0].phi_sender == pytest.approx(fair + spare / 2)
+    assert ps[1].phi_sender == pytest.approx(fair + spare / 2)
+
+
+def test_over_assignment_bounded_by_double():
+    """'In the worst case, we only assign double the VM-pair's token'."""
+    ps = pairs_with(0.0, 0.0, 50e9)
+    token_assignment(3000, ps, BU)
+    total = sum(p.phi_sender for p in ps)
+    assert total <= 2 * 3000 + 1e-6
+
+
+def test_receiver_bounded_pairs_release_tokens():
+    ps = pairs_with(50e9, 50e9)
+    ps[0].phi_receiver = 200.0  # receiver only admits 200
+    token_assignment(2000, ps, BU)
+    assert ps[0].phi_sender == pytest.approx(200)
+    assert ps[1].phi_sender == pytest.approx(1800)
+
+
+def test_assignment_empty_group():
+    assert token_assignment(1000, [], BU) == []
+
+
+def test_admission_max_min():
+    ps = pairs_with(0, 0, 0)
+    ps[0].phi_sender = 100.0  # small demand: unbounded
+    ps[1].phi_sender = 5000.0
+    ps[2].phi_sender = 5000.0
+    token_admission(3000, ps)
+    assert ps[0].phi_receiver == UNBOUND
+    # The freed (fair - 100) raises the others' water level.
+    expected = 1000 + (1000 - 100) / 2
+    assert ps[1].phi_receiver == pytest.approx(expected)
+    assert ps[2].phi_receiver == pytest.approx(expected)
+
+
+def test_admission_all_heavy_demands_split_equally():
+    ps = pairs_with(0, 0)
+    ps[0].phi_sender = 9000.0
+    ps[1].phi_sender = 9000.0
+    token_admission(4000, ps)
+    assert ps[0].phi_receiver == pytest.approx(2000)
+    assert ps[1].phi_receiver == pytest.approx(2000)
+
+
+def test_effective_phi_is_min_of_both_sides():
+    p = PairDemand("x", phi_sender=800.0, phi_receiver=500.0)
+    assert p.effective_phi() == 500.0
+    p.phi_receiver = UNBOUND
+    assert p.effective_phi() == 800.0
+
+
+def test_token_manager_lifecycle():
+    manager = TokenManager("vf1", 2000, BU)
+    manager.update_tx("a", 10e9)
+    manager.update_tx("b", 0.0)
+    out = manager.reassign()
+    a = next(p for p in out if p.pair_id == "a")
+    b = next(p for p in out if p.pair_id == "b")
+    assert a.phi_sender > b.phi_sender or b.phi_sender == pytest.approx(1000)
+    manager.remove("a")
+    assert all(p.pair_id != "a" for p in manager.pairs)
+
+
+@settings(max_examples=60)
+@given(
+    phi_vf=st.floats(min_value=1, max_value=1e5),
+    tx_rates=st.lists(st.floats(min_value=0, max_value=100e9), min_size=1, max_size=12),
+)
+def test_assignment_invariants(phi_vf, tx_rates):
+    ps = pairs_with(*tx_rates)
+    token_assignment(phi_vf, ps, BU)
+    # Non-negative, every pair assigned, over-assignment bounded by 2x.
+    assert all(p.phi_sender >= 0 for p in ps)
+    assert sum(p.phi_sender for p in ps) <= 2 * phi_vf * (1 + 1e-9)
+    # Pairs with sufficient demand get at least the fair share.
+    fair = phi_vf / len(ps)
+    for p in ps:
+        if p.tx_rate / BU >= fair and p.phi_receiver == UNBOUND:
+            assert p.phi_sender >= fair * (1 - 1e-9)
+
+
+@settings(max_examples=60)
+@given(
+    phi_vf=st.floats(min_value=1, max_value=1e5),
+    demands=st.lists(st.floats(min_value=0, max_value=1e5), min_size=1, max_size=12),
+)
+def test_admission_invariants(phi_vf, demands):
+    ps = pairs_with(*([0.0] * len(demands)))
+    for p, d in zip(ps, demands):
+        p.phi_sender = d
+    token_admission(phi_vf, ps)
+    granted = [min(p.phi_sender, p.phi_receiver) for p in ps]
+    # The receiver never admits more than the VF's tokens in total.
+    assert sum(granted) <= phi_vf * (1 + 1e-6) + 1e-6
+    # Max-min: a bounded pair's grant is never below an unbounded demand.
+    bounded = [p.phi_receiver for p in ps if p.phi_receiver != UNBOUND]
+    unbounded_demands = [p.phi_sender for p in ps if p.phi_receiver == UNBOUND]
+    if bounded and unbounded_demands:
+        assert min(bounded) >= max(unbounded_demands) * (1 - 1e-6)
