@@ -10,7 +10,7 @@ the paper's root-cause argument (section 2.2).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.core.params import UFabParams
 from repro.sim.engine import Event

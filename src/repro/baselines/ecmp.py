@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.baselines.base import BaselinePair, PathSelector
 

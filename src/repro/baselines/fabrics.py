@@ -21,7 +21,7 @@ from repro.baselines.ecmp import EcmpSelector
 from repro.baselines.elasticswitch import ElasticSwitchRA
 from repro.baselines.picnic import ReceiverGrants
 from repro.baselines.wcc import SwiftWCC
-from repro.core.edge import UFabFabric, install_ufab
+from repro.core.edge import install_ufab
 from repro.core.params import UFabParams
 from repro.sim.network import Network
 

@@ -11,7 +11,7 @@ congestion" (section 2.2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.baselines.base import BaselinePair, RateController
 from repro.core.params import UFabParams

@@ -3,36 +3,50 @@
 Examples::
 
     python -m repro list
-    python -m repro fig4 --duration 0.02
+    python -m repro fig4 --duration 0.02 --jobs 4
     python -m repro fig11 --schemes ufab pwc
     python -m repro case2
     python -m repro tables
+    python -m repro bench --grid fig11 --jobs 4
 
 Each subcommand maps onto one experiment runner and prints the same
-paper-style rows the benchmark suite produces.
+paper-style rows the benchmark suite produces.  Every figure command
+accepts ``--jobs N`` (default: ``REPRO_JOBS`` env var, else 1) to fan
+the sweep grid out over processes via :mod:`repro.runner`; results are
+memoized under ``.repro_cache/`` unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.report import format_table
+from repro.runner.parallel import default_jobs
+
+
+def _grid_kwargs(args) -> dict:
+    return {
+        "jobs": args.jobs,
+        "use_cache": not args.no_cache,
+        "cache_dir": args.cache_dir,
+    }
 
 
 def _fig4(args) -> None:
     from repro.experiments import case1_incast
 
-    results = case1_incast.run(
+    rows_raw = case1_incast.run_grid(
         degrees=tuple(args.degrees),
         schemes=tuple(args.schemes or ("pwc", "ufab")),
         duration=args.duration,
+        **_grid_kwargs(args),
     )
     rows = [
-        [r.scheme, r.degree, f"{r.median * 1e6:.0f}", f"{r.p99 * 1e6:.0f}",
-         f"{r.p999 * 1e6:.0f}"]
-        for r in results
+        [r["scheme"], r["degree"], f"{r['median'] * 1e6:.0f}",
+         f"{r['p99'] * 1e6:.0f}", f"{r['p999'] * 1e6:.0f}"]
+        for r in rows_raw
     ]
     print(format_table("Figure 4: incast RTT (us)",
                        ["scheme", "N", "p50", "p99", "p99.9"], rows))
@@ -41,26 +55,27 @@ def _fig4(args) -> None:
 def _case2(args) -> None:
     from repro.experiments import case2_migration
 
-    for r in case2_migration.run(duration=args.duration):
-        label = r.scheme if r.flowlet_gap_s is None else (
-            f"{r.scheme}@{r.flowlet_gap_s * 1e6:.0f}us"
-        )
-        print(f"{label:14s} F1 satisfied: {r.f1_satisfied_after_join}  "
-              f"F4 satisfied: {r.f4_satisfied_after_join}  "
-              f"F4 migrations: {r.migrations_f4}")
+    for r in case2_migration.run_grid(duration=args.duration,
+                                      **_grid_kwargs(args)):
+        gap = r["flowlet_gap_s"]
+        label = r["scheme"] if gap is None else f"{r['scheme']}@{gap * 1e6:.0f}us"
+        print(f"{label:14s} F1 satisfied: {r['f1_satisfied_after_join']}  "
+              f"F4 satisfied: {r['f4_satisfied_after_join']}  "
+              f"F4 migrations: {r['migrations_f4']}")
 
 
 def _fig11(args) -> None:
     from repro.experiments import fig11_guarantee
 
-    results = fig11_guarantee.run(
+    rows_raw = fig11_guarantee.run_grid(
         schemes=tuple(args.schemes or ("ufab", "pwc", "es+clove")),
         duration=args.duration,
+        **_grid_kwargs(args),
     )
     rows = [
-        [r.scheme, f"{100 * r.dissatisfaction_ratio:.1f}%",
-         f"{r.queue_cdf.p(99) / 8e3:.0f} KB"]
-        for r in results
+        [r["scheme"], f"{100 * r['dissatisfaction_ratio']:.1f}%",
+         f"{r['queue_p99_bits'] / 8e3:.0f} KB"]
+        for r in rows_raw
     ]
     print(format_table("Figure 11: dissatisfaction / queue p99",
                        ["scheme", "dissatisfaction", "queue p99"], rows))
@@ -69,11 +84,16 @@ def _fig11(args) -> None:
 def _fig12(args) -> None:
     from repro.experiments import fig12_incast
 
-    results = fig12_incast.run(duration=args.duration)
+    schemes = tuple(args.schemes) if args.schemes else None
+    rows_raw = fig12_incast.run_grid(
+        **({"schemes": schemes} if schemes else {}),
+        duration=args.duration,
+        **_grid_kwargs(args),
+    )
     rows = [
-        [r.scheme, f"{r.p50 * 1e6:.0f}", f"{r.p99 * 1e6:.0f}",
-         f"{r.max_rtt * 1e6:.0f}"]
-        for r in results
+        [r["scheme"], f"{r['p50'] * 1e6:.0f}", f"{r['p99'] * 1e6:.0f}",
+         f"{r['max_rtt'] * 1e6:.0f}"]
+        for r in rows_raw
     ]
     print(format_table("Figure 12: 14-to-1 incast RTT (us)",
                        ["scheme", "p50", "p99", "max"], rows))
@@ -82,11 +102,16 @@ def _fig12(args) -> None:
 def _fig16(args) -> None:
     from repro.experiments import fig16_dynamic
 
-    results = fig16_dynamic.run(duration=args.duration)
+    schemes = tuple(args.schemes) if args.schemes else None
+    rows_raw = fig16_dynamic.run_grid(
+        **({"schemes": schemes} if schemes else {}),
+        duration=args.duration,
+        **_grid_kwargs(args),
+    )
     rows = [
-        [r.scheme, f"{r.mean_utilization_overload:.2f}",
-         f"{r.p99 * 1e6:.0f}", f"{r.max_rtt * 1e6:.0f}"]
-        for r in results
+        [r["scheme"], f"{r['mean_utilization_overload']:.2f}",
+         f"{r['p99'] * 1e6:.0f}", f"{r['max_rtt'] * 1e6:.0f}"]
+        for r in rows_raw
     ]
     print(format_table("Figure 16: 90-to-1 dynamic workload",
                        ["scheme", "util", "RTT p99 (us)", "RTT max (us)"], rows))
@@ -118,6 +143,41 @@ def _overhead(args) -> None:
     print(format_table("Figure 15b: probing overhead", ["pairs", "overhead"], rows))
 
 
+def _bench(args) -> None:
+    from repro.runner.bench import run_bench
+
+    report = run_bench(
+        grid=args.grid,
+        jobs=args.jobs,
+        schemes=tuple(args.schemes) if args.schemes else None,
+        seeds=tuple(args.seeds),
+        duration=args.duration,
+        degrees=tuple(args.degrees) if args.degrees else None,
+        timeout_s=args.timeout,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        out=args.out,
+    )
+    rows = [
+        [r["experiment"], r["scheme"], r["seed"],
+         "hit" if r["cached"] else ("ok" if r["ok"] else "FAIL"),
+         f"{r['wall_s']:.2f}",
+         f"{r['events_per_sec']:,.0f}" if r["events_per_sec"] else "-"]
+        for r in report["results"]
+    ]
+    print(format_table(
+        f"bench {report['grid']}: {report['n_jobs']} jobs x {report['jobs']} workers",
+        ["experiment", "scheme", "seed", "status", "wall (s)", "events/s"], rows))
+    cache = report["cache"]
+    print(f"\ntotal wall: {report['total_wall_s']:.2f}s   "
+          f"cache: {cache['hits']} hits / {cache['misses']} misses   "
+          f"failed: {report['n_failed']}")
+    if "out" in report:
+        print(f"report written to {report['out']}")
+    if report["n_failed"]:
+        raise SystemExit(1)
+
+
 COMMANDS: Dict[str, Dict] = {
     "fig4": {"fn": _fig4, "help": "Case-1 incast RTT sweep", "duration": 0.02},
     "case2": {"fn": _case2, "help": "Case-2 migration scenario", "duration": 0.16},
@@ -127,6 +187,16 @@ COMMANDS: Dict[str, Dict] = {
     "tables": {"fn": _tables, "help": "Tables 3-4 resource models", "duration": 0.0},
     "overhead": {"fn": _overhead, "help": "Figure 15b probing overhead", "duration": 0.0},
 }
+
+
+def _add_runner_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=default_jobs(),
+                   help="parallel worker processes (default: $REPRO_JOBS or 1; "
+                        "1 = in-process)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk result cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: .repro_cache)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,6 +214,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="subset of schemes (where applicable)")
         p.add_argument("--degrees", nargs="*", type=int,
                        default=[2, 6, 10, 14], help="incast degrees (fig4)")
+        _add_runner_options(p)
+
+    from repro.runner.bench import GRIDS
+
+    b = sub.add_parser("bench", help="run a sweep grid, emit BENCH_*.json")
+    b.add_argument("--grid", choices=sorted(GRIDS), default="fig11",
+                   help="which grid to run (default: fig11)")
+    b.add_argument("--duration", type=float, default=None,
+                   help="simulated seconds per cell (default: per-grid)")
+    b.add_argument("--schemes", nargs="*", default=None,
+                   help="subset of schemes (where applicable)")
+    b.add_argument("--degrees", nargs="*", type=int, default=None,
+                   help="incast degrees (fig4 grid)")
+    b.add_argument("--seeds", nargs="*", type=int, default=[1, 2],
+                   help="seeds per cell (default: 1 2)")
+    b.add_argument("--timeout", type=float, default=None,
+                   help="per-job timeout in wall seconds")
+    b.add_argument("--out", default=None,
+                   help="report path (default: BENCH_<grid>.json)")
+    _add_runner_options(b)
     return parser
 
 
@@ -154,10 +244,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("available figures:")
         for name, spec in COMMANDS.items():
             print(f"  {name:10s} {spec['help']}")
+        print("  bench      run a sweep grid, emit BENCH_*.json")
         print("\n(benchmarks/ regenerates everything: "
               "pytest benchmarks/ --benchmark-only -s)")
         return 0
-    COMMANDS[args.command]["fn"](args)
+    from repro.experiments.common import GridError
+
+    try:
+        if args.command == "bench":
+            _bench(args)
+        else:
+            COMMANDS[args.command]["fn"](args)
+    except GridError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

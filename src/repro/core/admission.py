@@ -8,8 +8,7 @@ theory benchmark.
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

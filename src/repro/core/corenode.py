@@ -24,7 +24,8 @@ from repro.sim.link import Link
 class CoreAgent:
     """Per-egress-port switch agent."""
 
-    def __init__(self, link: Link, params: Optional[UFabParams] = None, bloom_seed: int = 0) -> None:
+    def __init__(self, link: Link, params: Optional[UFabParams] = None,
+                 bloom_seed: int = 0) -> None:
         self.link = link
         self.params = params or UFabParams()
         self.phi_total = 0.0  # register: Phi_l

@@ -27,7 +27,6 @@ from repro.core.admission import (
     bootstrap_window,
     proportional_share,
     window_entitlement,
-    window_for_link,
 )
 from repro.core.corenode import CoreAgent, attach_core_agents
 from repro.core.params import UFabParams
@@ -510,7 +509,6 @@ class PairController:
         self._desperate_rounds = 0
         # Retire registers on the old path.
         self._send_finish()
-        old_idx = self.current_idx
         self.current_idx = choice
         self.violation_rounds = 0
         self.stats["migrations"] += 1
@@ -591,7 +589,8 @@ class PairController:
 class EdgeAgent:
     """uFAB-E instance for one host."""
 
-    def __init__(self, host_name: str, network: Network, params: UFabParams, rng: random.Random) -> None:
+    def __init__(self, host_name: str, network: Network, params: UFabParams,
+                 rng: random.Random) -> None:
         self.host_name = host_name
         self.network = network
         self.params = params
@@ -641,7 +640,8 @@ class EdgeAgent:
 class UFabFabric:
     """The installed uFAB deployment: all edge agents plus the core."""
 
-    def __init__(self, network: Network, params: Optional[UFabParams] = None, seed: int = 1) -> None:
+    def __init__(self, network: Network, params: Optional[UFabParams] = None,
+                 seed: int = 1) -> None:
         self.network = network
         self.params = params or UFabParams()
         self.rng = random.Random(seed)

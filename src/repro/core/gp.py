@@ -13,7 +13,7 @@ Works with any fabric exposing ``network`` and per-pair registration
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.token import PairDemand, token_admission, token_assignment
 from repro.sim.host import VMPair

@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import struct
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 
 class ProbeKind(enum.IntEnum):

@@ -9,8 +9,6 @@ that a start-time-fair virtual-clock WFQ would serve next.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 

@@ -18,13 +18,11 @@
 from __future__ import annotations
 
 import dataclasses
-import math
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import GuaranteeAuditor, QueueSampler
-from repro.core.corenode import attach_core_agents
-from repro.core.edge import UFabFabric, install_ufab
+from repro.core.edge import install_ufab
 from repro.core.multipath import PathDemand, multipath_assignment
 from repro.core.params import UFabParams
 from repro.experiments.common import testbed_network
@@ -35,7 +33,7 @@ from repro.experiments.fig11_guarantee import (
 )
 from repro.sim.host import VMPair
 from repro.sim.network import Network
-from repro.sim.topology import Topology, three_tier_testbed
+from repro.sim.topology import Topology
 from repro.workloads.synthetic import permutation_pairs
 
 
@@ -48,6 +46,7 @@ class PartialDeploymentResult:
     fraction: float
     dissatisfaction_ratio: float
     queue_p99_bits: float
+    events_processed: int = 0
 
 
 def _strip_core_agents(network: Network, fraction: float, rng: random.Random) -> None:
@@ -66,6 +65,41 @@ def _strip_core_agents(network: Network, fraction: float, rng: random.Random) ->
         link.core_agent = None
 
 
+def run_partial_deployment_one(
+    fraction: float,
+    duration: float = 0.1,
+    seed: int = 41,
+    unit_bandwidth: float = 1e6,
+) -> PartialDeploymentResult:
+    """One coverage point of the partial-deployment ablation."""
+    net = testbed_network()
+    params = UFabParams(unit_bandwidth=unit_bandwidth, n_candidate_paths=8)
+    fabric = install_ufab(net, params, seed=seed)
+    _strip_core_agents(net, fraction, random.Random(seed))
+    classes = [g * 1e9 / unit_bandwidth for g in GUARANTEE_CLASSES_GBPS]
+    pairs = permutation_pairs(SOURCES, DESTINATIONS, classes)
+    rng = random.Random(seed)
+    rng.shuffle(pairs)
+    guarantees = {p.pair_id: p.phi * unit_bandwidth for p in pairs}
+    for i, pair in enumerate(pairs):
+        net.sim.at(i * 5e-3, fabric.add_pair, pair)
+    auditor = GuaranteeAuditor(net, guarantees, period=0.5e-3)
+    auditor.start(duration)
+    core = [
+        name for name, link in net.topology.links.items()
+        if link.src.startswith(("Agg", "Core"))
+    ]
+    queues = QueueSampler(net, core, period=0.5e-3)
+    queues.start(duration)
+    net.run(duration)
+    return PartialDeploymentResult(
+        fraction=fraction,
+        dissatisfaction_ratio=auditor.dissatisfaction_ratio,
+        queue_p99_bits=queues.queue_bits.p(99),
+        events_processed=net.sim.events_processed,
+    )
+
+
 def run_partial_deployment(
     fractions: Sequence[float] = (1.0, 0.5, 0.25, 0.0),
     duration: float = 0.1,
@@ -73,36 +107,27 @@ def run_partial_deployment(
     unit_bandwidth: float = 1e6,
 ) -> List[PartialDeploymentResult]:
     """Fig-11-style permutation churn under partial uFAB-C coverage."""
-    results = []
-    for fraction in fractions:
-        net = testbed_network()
-        params = UFabParams(unit_bandwidth=unit_bandwidth, n_candidate_paths=8)
-        fabric = install_ufab(net, params, seed=seed)
-        _strip_core_agents(net, fraction, random.Random(seed))
-        classes = [g * 1e9 / unit_bandwidth for g in GUARANTEE_CLASSES_GBPS]
-        pairs = permutation_pairs(SOURCES, DESTINATIONS, classes)
-        rng = random.Random(seed)
-        rng.shuffle(pairs)
-        guarantees = {p.pair_id: p.phi * unit_bandwidth for p in pairs}
-        for i, pair in enumerate(pairs):
-            net.sim.at(i * 5e-3, fabric.add_pair, pair)
-        auditor = GuaranteeAuditor(net, guarantees, period=0.5e-3)
-        auditor.start(duration)
-        core = [
-            name for name, l in net.topology.links.items()
-            if l.src.startswith(("Agg", "Core"))
-        ]
-        queues = QueueSampler(net, core, period=0.5e-3)
-        queues.start(duration)
-        net.run(duration)
-        results.append(
-            PartialDeploymentResult(
-                fraction=fraction,
-                dissatisfaction_ratio=auditor.dissatisfaction_ratio,
-                queue_p99_bits=queues.queue_bits.p(99),
-            )
-        )
-    return results
+    return [
+        run_partial_deployment_one(fraction, duration, seed, unit_bandwidth)
+        for fraction in fractions
+    ]
+
+
+def partial_deployment_cell(
+    fraction: float,
+    duration: float = 0.1,
+    seed: int = 41,
+) -> Dict[str, object]:
+    """One runner grid cell of the partial-deployment ablation."""
+    r = run_partial_deployment_one(fraction, duration=duration, seed=seed)
+    return {
+        "fraction": fraction,
+        "seed": seed,
+        "duration": duration,
+        "dissatisfaction_ratio": r.dissatisfaction_ratio,
+        "queue_p99_bits": r.queue_p99_bits,
+        "events_processed": r.events_processed,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +240,34 @@ class HeadroomResult:
     eta: float
     utilization: float
     queue_p99_bits: float
+    events_processed: int = 0
+
+
+def run_headroom_one(
+    eta: float,
+    duration: float = 0.04,
+    unit_bandwidth: float = 1e6,
+) -> HeadroomResult:
+    """One eta point of the headroom sweep."""
+    from repro.sim.topology import dumbbell
+
+    topo = dumbbell(n_pairs=4)
+    net = Network(topo)
+    params = UFabParams(unit_bandwidth=unit_bandwidth,
+                        target_utilization=eta)
+    fabric = install_ufab(net, params)
+    for i in range(4):
+        fabric.add_pair(VMPair(f"p{i}", f"vf{i}", f"src{i}", f"dst{i}",
+                               phi=2000))
+    queues = QueueSampler(net, ["SW1->SW2"], period=0.2e-3)
+    queues.start(duration)
+    net.run(duration)
+    return HeadroomResult(
+        eta=eta,
+        utilization=topo.link("SW1", "SW2").utilization(net.sim.now),
+        queue_p99_bits=queues.queue_bits.p(99),
+        events_processed=net.sim.events_processed,
+    )
 
 
 def run_headroom_sweep(
@@ -223,29 +276,66 @@ def run_headroom_sweep(
     unit_bandwidth: float = 1e6,
 ) -> List[HeadroomResult]:
     """The 5% headroom trade-off: utilization vs queue absorption."""
-    from repro.sim.topology import dumbbell
+    return [run_headroom_one(eta, duration, unit_bandwidth) for eta in etas]
 
-    out = []
-    for eta in etas:
-        topo = dumbbell(n_pairs=4)
-        net = Network(topo)
-        params = UFabParams(unit_bandwidth=unit_bandwidth,
-                            target_utilization=eta)
-        fabric = install_ufab(net, params)
-        for i in range(4):
-            fabric.add_pair(VMPair(f"p{i}", f"vf{i}", f"src{i}", f"dst{i}",
-                                   phi=2000))
-        queues = QueueSampler(net, ["SW1->SW2"], period=0.2e-3)
-        queues.start(duration)
-        net.run(duration)
-        out.append(
-            HeadroomResult(
-                eta=eta,
-                utilization=topo.link("SW1", "SW2").utilization(net.sim.now),
-                queue_p99_bits=queues.queue_bits.p(99),
-            )
+
+def headroom_cell(eta: float, duration: float = 0.04) -> Dict[str, object]:
+    """One runner grid cell of the headroom sweep."""
+    r = run_headroom_one(eta, duration=duration)
+    return {
+        "eta": eta,
+        "duration": duration,
+        "utilization": r.utilization,
+        "queue_p99_bits": r.queue_p99_bits,
+        "events_processed": r.events_processed,
+    }
+
+
+def grid(
+    fractions: Sequence[float] = (1.0, 0.5, 0.25, 0.0),
+    etas: Sequence[float] = (0.90, 0.95, 0.99),
+    duration: float = 0.05,
+    seed: int = 41,
+) -> "List[Job]":
+    """Partial-deployment + headroom cells as one runner grid."""
+    from repro.runner import Job
+
+    jobs = [
+        Job(
+            experiment="ablations",
+            entry="repro.experiments.ablations:partial_deployment_cell",
+            scheme=f"coverage={fraction:g}",
+            seed=seed,
+            params={"fraction": fraction, "duration": duration, "seed": seed},
         )
-    return out
+        for fraction in fractions
+    ]
+    jobs += [
+        Job(
+            experiment="ablations",
+            entry="repro.experiments.ablations:headroom_cell",
+            scheme=f"eta={eta:g}",
+            params={"eta": eta, "duration": duration},
+        )
+        for eta in etas
+    ]
+    return jobs
+
+
+def run_grid(
+    fractions: Sequence[float] = (1.0, 0.5, 0.25, 0.0),
+    etas: Sequence[float] = (0.90, 0.95, 0.99),
+    duration: float = 0.05,
+    seed: int = 41,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """The ablation grids through the parallel runner (rows of dicts)."""
+    from repro.experiments.common import run_grid as submit
+
+    return submit(grid(fractions, etas, duration, seed), jobs=jobs,
+                  use_cache=use_cache, cache_dir=cache_dir)
 
 
 # ----------------------------------------------------------------------

@@ -11,7 +11,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -8,7 +8,7 @@ latency growing with the incast degree while uFAB bounds it.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import RttSampler, percentile
 from repro.experiments.common import build_scheme, testbed_network
@@ -25,6 +25,7 @@ class IncastResult:
     p99: float
     p999: float
     samples: List[float]
+    events_processed: int = 0
 
 
 def run_one(
@@ -54,7 +55,68 @@ def run_one(
         p99=percentile(samples, 99),
         p999=percentile(samples, 99.9),
         samples=samples,
+        events_processed=net.sim.events_processed,
     )
+
+
+def cell(
+    scheme: str,
+    degree: int,
+    duration: float = 0.03,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """One runner grid cell: RTT percentiles for (scheme, degree)."""
+    r = run_one(scheme, degree, duration=duration, seed=seed)
+    return {
+        "scheme": scheme,
+        "degree": degree,
+        "seed": seed,
+        "duration": duration,
+        "median": r.median,
+        "p99": r.p99,
+        "p999": r.p999,
+        "n_samples": len(r.samples),
+        "events_processed": r.events_processed,
+    }
+
+
+def grid(
+    degrees: Sequence[int] = (2, 4, 6, 8, 10, 12, 14),
+    schemes: Sequence[str] = ("pwc", "ufab"),
+    duration: float = 0.03,
+    seeds: Sequence[int] = (1,),
+) -> List["Job"]:
+    from repro.runner import Job
+
+    return [
+        Job(
+            experiment="fig4",
+            entry="repro.experiments.case1_incast:cell",
+            scheme=scheme,
+            seed=seed,
+            params={"scheme": scheme, "degree": degree,
+                    "duration": duration, "seed": seed},
+        )
+        for scheme in schemes
+        for degree in degrees
+        for seed in seeds
+    ]
+
+
+def run_grid(
+    degrees: Sequence[int] = (2, 4, 6, 8, 10, 12, 14),
+    schemes: Sequence[str] = ("pwc", "ufab"),
+    duration: float = 0.03,
+    seeds: Sequence[int] = (1,),
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """The Figure 4 sweep through the parallel runner (rows of dicts)."""
+    from repro.experiments.common import run_grid as submit
+
+    return submit(grid(degrees, schemes, duration, seeds), jobs=jobs,
+                  use_cache=use_cache, cache_dir=cache_dir)
 
 
 def run(
@@ -62,7 +124,7 @@ def run(
     schemes: Sequence[str] = ("pwc", "ufab"),
     duration: float = 0.03,
 ) -> List[IncastResult]:
-    """The Figure 4 sweep."""
+    """The Figure 4 sweep (in-process; full sample lists retained)."""
     return [
         run_one(scheme, degree, duration)
         for scheme in schemes

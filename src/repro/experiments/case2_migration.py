@@ -65,6 +65,7 @@ class MigrationResult:
     migrations_f4: int
     f1_satisfied_after_join: bool
     f4_satisfied_after_join: bool
+    events_processed: int = 0
 
 
 def _satisfied(series, t_from: float, entitled: float, tol: float = 0.1) -> bool:
@@ -139,9 +140,69 @@ def run_one(
         flowlet_gap_s=None if scheme == "ufab" else flowlet_gap_s,
         rate_series=series,
         migrations_f4=migrations,
-        f1_satisfied_after_join=_satisfied(series["F1"], join_time, min(9000 * unit_bandwidth, 8e9)),
-        f4_satisfied_after_join=_satisfied(series["F4"], join_time, 3000 * unit_bandwidth),
+        f1_satisfied_after_join=_satisfied(
+            series["F1"], join_time, min(9000 * unit_bandwidth, 8e9)),
+        f4_satisfied_after_join=_satisfied(
+            series["F4"], join_time, 3000 * unit_bandwidth),
+        events_processed=net.sim.events_processed,
     )
+
+
+PANELS = (
+    ("pwc", 200e-6),
+    ("pwc", 36e-6),
+    ("ufab", None),
+)
+
+
+def cell(
+    scheme: str,
+    flowlet_gap_s: Optional[float] = None,
+    duration: float = 0.2,
+) -> Dict[str, object]:
+    """One runner grid cell: one Figure 5 panel.
+
+    F4's join is kept at the paper's 100 ms but pulled to ``duration/2``
+    for scaled-down runs so the post-join window always exists.
+    """
+    r = run_one(scheme, flowlet_gap_s=flowlet_gap_s or 200e-6,
+                join_time=min(0.1, duration / 2), duration=duration)
+    return {
+        "scheme": scheme,
+        "flowlet_gap_s": r.flowlet_gap_s,
+        "duration": duration,
+        "migrations_f4": r.migrations_f4,
+        "f1_satisfied_after_join": r.f1_satisfied_after_join,
+        "f4_satisfied_after_join": r.f4_satisfied_after_join,
+        "events_processed": r.events_processed,
+    }
+
+
+def grid(duration: float = 0.2) -> "List[Job]":
+    from repro.runner import Job
+
+    return [
+        Job(
+            experiment="case2",
+            entry="repro.experiments.case2_migration:cell",
+            scheme=scheme if gap is None else f"{scheme}@{gap * 1e6:.0f}us",
+            params={"scheme": scheme, "flowlet_gap_s": gap, "duration": duration},
+        )
+        for scheme, gap in PANELS
+    ]
+
+
+def run_grid(
+    duration: float = 0.2,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> "List[Dict[str, object]]":
+    """The three Figure 5 panels through the parallel runner."""
+    from repro.experiments.common import run_grid as submit
+
+    return submit(grid(duration), jobs=jobs, use_cache=use_cache,
+                  cache_dir=cache_dir)
 
 
 def run(duration: float = 0.2) -> List[MigrationResult]:

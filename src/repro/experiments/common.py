@@ -1,14 +1,24 @@
-"""Shared experiment scaffolding."""
+"""Shared experiment scaffolding.
+
+Besides the testbed/scheme helpers, this module is the experiments'
+doorway into :mod:`repro.runner`: figure modules express their
+(scheme x parameter x seed) sweeps as lists of :class:`Job` cells and
+submit them through :func:`run_grid`, which fans out over processes
+when ``jobs > 1`` and otherwise runs in-process (debugger- and
+coverage-friendly), with results served from the on-disk cache when
+the configuration and code are unchanged.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.fabrics import make_fabric
 from repro.core.params import UFabParams
+from repro.runner import Job, ParallelRunner, ResultCache
 from repro.sim.network import Network
-from repro.sim.topology import Topology, three_tier_testbed
+from repro.sim.topology import three_tier_testbed
 
 SCHEMES = ("pwc", "es+clove", "ufab")
 SCHEMES_WITH_PRIME = ("pwc", "es+clove", "ufab-prime", "ufab")
@@ -57,3 +67,43 @@ def build_scheme(
 def sample_period_for(base_rtt: float) -> float:
     """RTT/queue sampling cadence: a fraction of the control interval."""
     return base_rtt / 2.0
+
+
+# ----------------------------------------------------------------------
+# Grid submission through repro.runner
+# ----------------------------------------------------------------------
+
+class GridError(RuntimeError):
+    """One or more grid cells failed; the message lists each failure."""
+
+
+def run_grid(
+    grid_jobs: Sequence[Job],
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Submit a grid, return ordered payload rows; raise on failures.
+
+    ``jobs=1`` executes in-process through the same code path, so a
+    serial run and an N-way run of the same grid return byte-identical
+    rows.  Failed cells are collected (siblings still complete) and
+    surfaced together in a :class:`GridError`.
+    """
+    runner = ParallelRunner(
+        jobs=jobs,
+        timeout_s=timeout_s,
+        cache=ResultCache(cache_dir) if use_cache else None,
+    )
+    results = runner.run(list(grid_jobs))
+    failed = [r for r in results if not r.ok]
+    if failed:
+        lines = [
+            f"{r.job.describe()}: {(r.error or 'unknown error').strip().splitlines()[-1]}"
+            for r in failed
+        ]
+        raise GridError(
+            f"{len(failed)}/{len(results)} grid jobs failed:\n  " + "\n  ".join(lines)
+        )
+    return [r.payload for r in results if r.payload is not None]

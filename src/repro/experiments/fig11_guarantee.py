@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import Cdf, GuaranteeAuditor, QueueSampler
 from repro.experiments.common import build_scheme, testbed_network
@@ -30,6 +30,7 @@ class GuaranteeResult:
     dissatisfaction_ratio: float
     queue_cdf: Cdf
     guarantees: Dict[str, float]
+    events_processed: int = 0
 
 
 def run_one(
@@ -74,7 +75,63 @@ def run_one(
         dissatisfaction_ratio=auditor.dissatisfaction_ratio,
         queue_cdf=queues.queue_bits,
         guarantees=guarantees,
+        events_processed=net.sim.events_processed,
     )
+
+
+def cell(
+    scheme: str,
+    duration: float = 0.3,
+    join_interval: float = 0.02,
+    seed: int = 3,
+) -> Dict[str, object]:
+    """One runner grid cell: scalar panel metrics, JSON-serializable."""
+    r = run_one(scheme, duration=duration, join_interval=join_interval, seed=seed)
+    return {
+        "scheme": scheme,
+        "seed": seed,
+        "duration": duration,
+        "dissatisfaction_ratio": r.dissatisfaction_ratio,
+        "queue_p50_bits": r.queue_cdf.p(50),
+        "queue_p99_bits": r.queue_cdf.p(99),
+        "n_pairs": len(r.guarantees),
+        "events_processed": r.events_processed,
+    }
+
+
+def grid(
+    schemes: Sequence[str] = ("ufab", "pwc", "es+clove"),
+    duration: float = 0.3,
+    seeds: Sequence[int] = (3,),
+) -> List["Job"]:
+    from repro.runner import Job
+
+    return [
+        Job(
+            experiment="fig11",
+            entry="repro.experiments.fig11_guarantee:cell",
+            scheme=scheme,
+            seed=seed,
+            params={"scheme": scheme, "duration": duration, "seed": seed},
+        )
+        for scheme in schemes
+        for seed in seeds
+    ]
+
+
+def run_grid(
+    schemes: Sequence[str] = ("ufab", "pwc", "es+clove"),
+    duration: float = 0.3,
+    seeds: Sequence[int] = (3,),
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """The Figure 11 sweep through the parallel runner (rows of dicts)."""
+    from repro.experiments.common import run_grid as submit
+
+    return submit(grid(schemes, duration, seeds), jobs=jobs,
+                  use_cache=use_cache, cache_dir=cache_dir)
 
 
 def run(

@@ -8,7 +8,7 @@ against the 4-baseRTT latency bound.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import Cdf, RttSampler, percentile
 from repro.experiments.common import SCHEMES_WITH_PRIME, build_scheme, testbed_network
@@ -24,6 +24,7 @@ class Fig12Result:
     p99: float
     max_rtt: float
     converged_fair_share: float  # mean per-flow rate in the final 20%
+    events_processed: int = 0
 
 
 def run_one(
@@ -60,7 +61,64 @@ def run_one(
         p99=percentile(rtts.samples, 99),
         max_rtt=max(rtts.samples),
         converged_fair_share=mean_rate,
+        events_processed=net.sim.events_processed,
     )
+
+
+def cell(
+    scheme: str,
+    duration: float = 0.06,
+    degree: int = 14,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """One runner grid cell: RTT panel metrics for one scheme."""
+    r = run_one(scheme, degree=degree, duration=duration, seed=seed)
+    return {
+        "scheme": scheme,
+        "degree": degree,
+        "seed": seed,
+        "duration": duration,
+        "p50": r.p50,
+        "p99": r.p99,
+        "max_rtt": r.max_rtt,
+        "converged_fair_share": r.converged_fair_share,
+        "events_processed": r.events_processed,
+    }
+
+
+def grid(
+    schemes: Sequence[str] = SCHEMES_WITH_PRIME,
+    duration: float = 0.06,
+    seeds: Sequence[int] = (1,),
+) -> List["Job"]:
+    from repro.runner import Job
+
+    return [
+        Job(
+            experiment="fig12",
+            entry="repro.experiments.fig12_incast:cell",
+            scheme=scheme,
+            seed=seed,
+            params={"scheme": scheme, "duration": duration, "seed": seed},
+        )
+        for scheme in schemes
+        for seed in seeds
+    ]
+
+
+def run_grid(
+    schemes: Sequence[str] = SCHEMES_WITH_PRIME,
+    duration: float = 0.06,
+    seeds: Sequence[int] = (1,),
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """The Figure 12 sweep through the parallel runner (rows of dicts)."""
+    from repro.experiments.common import run_grid as submit
+
+    return submit(grid(schemes, duration, seeds), jobs=jobs,
+                  use_cache=use_cache, cache_dir=cache_dir)
 
 
 def run(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.analysis.metrics import percentile
 from repro.experiments.common import build_scheme, testbed_network

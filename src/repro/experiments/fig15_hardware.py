@@ -10,7 +10,7 @@ overhead versus the number of VM-pairs (analytic, Figure 15b).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.analysis.metrics import QueueSampler
 from repro.core.edge import install_ufab

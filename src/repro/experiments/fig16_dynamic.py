@@ -10,7 +10,7 @@ RTTs, and with the latency optimization the max RTT stays bounded.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import Cdf, RttSampler, percentile
 from repro.core.params import UFabParams
@@ -29,6 +29,7 @@ class DynamicResult:
     p99: float
     max_rtt: float
     mean_utilization_overload: float  # of receiver link during overload
+    events_processed: int = 0
 
 
 def run_one(
@@ -104,7 +105,63 @@ def run_one(
         p99=percentile(rtts.samples, 99),
         max_rtt=max(rtts.samples),
         mean_utilization_overload=mean_util,
+        events_processed=net.sim.events_processed,
     )
+
+
+def cell(
+    scheme: str,
+    n_senders: int = 90,
+    duration: float = 0.024,
+    seed: int = 4,
+) -> Dict[str, object]:
+    """One runner grid cell: convergence metrics for one scheme."""
+    r = run_one(scheme, n_senders=n_senders, duration=duration, seed=seed)
+    return {
+        "scheme": scheme,
+        "n_senders": n_senders,
+        "seed": seed,
+        "duration": duration,
+        "mean_utilization_overload": r.mean_utilization_overload,
+        "p50": r.p50,
+        "p99": r.p99,
+        "max_rtt": r.max_rtt,
+        "events_processed": r.events_processed,
+    }
+
+
+def grid(
+    schemes: Sequence[str] = SCHEMES_WITH_PRIME,
+    n_senders: int = 90,
+    duration: float = 0.024,
+) -> "List[Job]":
+    from repro.runner import Job
+
+    return [
+        Job(
+            experiment="fig16",
+            entry="repro.experiments.fig16_dynamic:cell",
+            scheme=scheme,
+            params={"scheme": scheme, "n_senders": n_senders,
+                    "duration": duration},
+        )
+        for scheme in schemes
+    ]
+
+
+def run_grid(
+    schemes: Sequence[str] = SCHEMES_WITH_PRIME,
+    n_senders: int = 90,
+    duration: float = 0.024,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """The Figure 16 sweep through the parallel runner (rows of dicts)."""
+    from repro.experiments.common import run_grid as submit
+
+    return submit(grid(schemes, n_senders, duration), jobs=jobs,
+                  use_cache=use_cache, cache_dir=cache_dir)
 
 
 def run(

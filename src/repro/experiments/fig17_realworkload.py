@@ -15,7 +15,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.metrics import RttSampler, fct_slowdown, percentile
 from repro.core.params import UFabParams
@@ -93,7 +93,7 @@ def run_one(
     size_dist = EmpiricalSize(WEB_SEARCH_CDF)
     # Offered load averaged over host links.
     n_hosts = len(topo.hosts())
-    generator = PoissonFlowGenerator(
+    _generator = PoissonFlowGenerator(
         net.sim,
         all_pairs,
         size_dist,

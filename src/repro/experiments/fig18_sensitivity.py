@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.edge import install_ufab
 from repro.core.params import UFabParams
@@ -162,7 +162,7 @@ def run_probing_frequency(
         fabric = install_ufab(net, params, seed=seed)
         rng = random.Random(seed)
         # Background: random cross-pod pairs at ~50% average load.
-        background = _random_workload(net, fabric, rng, 0.5, unit_bandwidth)
+        _background = _random_workload(net, fabric, rng, 0.5, unit_bandwidth)
         sources = [f"S{1 + (i % 7)}" for i in range(16)]
         incast = incast_pairs(sources, "S8", tokens=500.0, vf_prefix="inc")
         t_join = 2e-3

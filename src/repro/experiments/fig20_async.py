@@ -12,7 +12,7 @@ import dataclasses
 import math
 import random
 import statistics
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.edge import install_ufab
 from repro.core.params import UFabParams

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 from repro.analysis.metrics import RttSampler, percentile
 from repro.baselines.fabrics import WccEcmpFabric

@@ -1,0 +1,168 @@
+"""``repro bench`` — run a configurable grid, emit machine-readable
+``BENCH_*.json`` perf reports.
+
+Each report records per-job wall time, simulator events/sec, and cache
+hit/miss counts, seeding the repo's performance trajectory: run the
+same grid before and after a change and diff the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.job import Job, code_version
+from repro.runner.parallel import ParallelRunner
+
+DEFAULT_SEEDS = (1, 2)
+
+
+def _fig11_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    from repro.experiments import fig11_guarantee
+
+    return fig11_guarantee.grid(
+        schemes=schemes or ("ufab", "pwc", "es+clove"),
+        duration=duration, seeds=seeds,
+    )
+
+
+def _fig4_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    from repro.experiments import case1_incast
+
+    return case1_incast.grid(
+        degrees=degrees or (2, 6, 10, 14),
+        schemes=schemes or ("pwc", "ufab"),
+        duration=duration, seeds=seeds,
+    )
+
+
+def _fig12_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    from repro.experiments import fig12_incast
+
+    return fig12_incast.grid(
+        schemes=schemes or ("pwc", "es+clove", "ufab-prime", "ufab"),
+        duration=duration, seeds=seeds,
+    )
+
+
+def _case2_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    from repro.experiments import case2_migration
+
+    return case2_migration.grid(duration=duration)
+
+
+def _ablations_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    from repro.experiments import ablations
+
+    return ablations.grid(fractions=(1.0, 0.5, 0.0), duration=duration,
+                          seed=seeds[0] if seeds else 41)
+
+
+def _smoke_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    return [
+        Job(
+            experiment="smoke",
+            entry="repro.runner.cells:spin_cell",
+            scheme=f"spin{i}",
+            seed=i,
+            params={"n": 50_000, "seed": i},
+        )
+        for i in range(4)
+    ]
+
+
+GRIDS: Dict[str, Dict[str, Any]] = {
+    "fig11": {"build": _fig11_grid, "duration": 0.05,
+              "help": "guarantee grid: scheme x seed"},
+    "fig4": {"build": _fig4_grid, "duration": 0.01,
+             "help": "incast grid: scheme x degree x seed"},
+    "fig12": {"build": _fig12_grid, "duration": 0.02,
+              "help": "14-to-1 incast: scheme x seed"},
+    "case2": {"build": _case2_grid, "duration": 0.12,
+              "help": "migration panels (3 jobs)"},
+    "ablations": {"build": _ablations_grid, "duration": 0.03,
+                  "help": "partial deployment + headroom cells"},
+    "smoke": {"build": _smoke_grid, "duration": 0.0,
+              "help": "simulator-free runner smoke grid"},
+}
+
+
+def build_grid(
+    grid: str,
+    schemes: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    duration: Optional[float] = None,
+    degrees: Optional[Sequence[int]] = None,
+) -> List[Job]:
+    if grid not in GRIDS:
+        raise ValueError(f"unknown grid {grid!r}; choose from {sorted(GRIDS)}")
+    spec = GRIDS[grid]
+    if duration is None:
+        duration = spec["duration"]
+    return spec["build"](schemes, tuple(seeds), duration, degrees)
+
+
+def run_bench(
+    grid: str = "fig11",
+    jobs: int = 1,
+    schemes: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    duration: Optional[float] = None,
+    degrees: Optional[Sequence[int]] = None,
+    timeout_s: Optional[float] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    out: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run a grid and return (and optionally write) the bench report."""
+    grid_jobs = build_grid(grid, schemes=schemes, seeds=seeds,
+                           duration=duration, degrees=degrees)
+    cache = ResultCache(cache_dir) if use_cache else None
+    runner = ParallelRunner(jobs=jobs, timeout_s=timeout_s, cache=cache)
+    start = time.perf_counter()
+    results = runner.run(grid_jobs)
+    total_wall = time.perf_counter() - start
+
+    per_job = []
+    for r in results:
+        events = r.events_processed
+        per_job.append({
+            "index": r.index,
+            "key": r.job.config_hash(),
+            "experiment": r.job.experiment,
+            "scheme": r.job.scheme,
+            "seed": r.job.seed,
+            "params": dict(r.job.params),
+            "ok": r.ok,
+            "cached": r.cached,
+            "wall_s": round(r.wall_s, 6),
+            "events_processed": events,
+            "events_per_sec": round(events / r.wall_s, 1) if r.wall_s > 0 else None,
+            "error": r.error,
+        })
+
+    report = {
+        "grid": grid,
+        "jobs": jobs,
+        "n_jobs": len(grid_jobs),
+        "n_failed": sum(1 for r in results if not r.ok),
+        "total_wall_s": round(total_wall, 6),
+        "cache": {
+            "enabled": use_cache,
+            "hits": cache.hits if cache else 0,
+            "misses": cache.misses if cache else 0,
+        },
+        "code_version": code_version(),
+        "results": per_job,
+        "rows": [r.payload for r in results if r.ok],
+    }
+    if out is None:
+        out = f"BENCH_{grid}.json"
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        report["out"] = out
+    return report

@@ -1,0 +1,37 @@
+"""Diagnostic grid cells for runner tests and CI smoke grids.
+
+These are module-level entry points (spawn workers import them by
+name) with no simulator dependency, so runner mechanics — ordering,
+caching, crash isolation, timeouts — can be exercised in milliseconds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+
+def echo_cell(value: Any = 0, sleep_s: float = 0.0, seed: int = 0) -> Dict[str, Any]:
+    """Return its inputs; optionally sleeps to simulate work."""
+    if sleep_s > 0:
+        time.sleep(sleep_s)
+    return {"value": value, "seed": seed, "sleep_s": sleep_s, "events_processed": 1}
+
+
+def failing_cell(message: str = "boom", seed: int = 0) -> Dict[str, Any]:
+    """Always raises — exercises crash isolation in the runner."""
+    raise RuntimeError(message)
+
+
+def hanging_cell(sleep_s: float = 3600.0, seed: int = 0) -> Dict[str, Any]:
+    """Sleeps (nominally) forever — exercises the per-job timeout."""
+    time.sleep(sleep_s)
+    return {"slept": sleep_s, "events_processed": 0}
+
+
+def spin_cell(n: int = 200_000, seed: int = 0) -> Dict[str, Any]:
+    """CPU-bound busy loop — exercises real parallel speedup."""
+    acc = seed
+    for i in range(n):
+        acc = (acc * 1103515245 + 12345 + i) % (2**31)
+    return {"acc": acc, "n": n, "events_processed": n}

@@ -1,0 +1,213 @@
+"""Spawn-safe parallel execution of experiment job grids.
+
+``ParallelRunner`` fans :class:`~repro.runner.job.Job` cells out over
+``multiprocessing`` (one process per job, at most ``jobs`` in flight)
+and returns results in **submission order** regardless of completion
+order, so a parallel sweep is byte-identical to a serial one.  Each
+job runs in its own process: a crash or divergence is reported as a
+failed :class:`JobResult` without aborting sibling jobs, and a per-job
+timeout terminates runaways.  ``jobs=1`` executes in-process — no
+subprocesses at all — which keeps debuggers, profilers, and coverage
+tooling usable.
+
+The spawn start method is used everywhere (fork is unsafe with
+threads and unavailable on some platforms); jobs and payloads are
+plain picklable data, never closures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from multiprocessing.connection import wait as connection_wait
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.job import Job, JobResult, timed_execute
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` env var, else 1 (in-process)."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _child_main(conn, job: Job) -> None:
+    """Worker body: run one job, ship the outcome over the pipe."""
+    try:
+        payload, wall = timed_execute(job)
+        conn.send(("ok", payload, wall))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class ParallelRunner:
+    """Run job grids with caching, crash isolation, and timeouts."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout_s: Optional[float] = None,
+        cache: Optional[ResultCache] = None,
+        poll_interval_s: float = 0.02,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.timeout_s = timeout_s
+        self.cache = cache
+        self.poll_interval_s = poll_interval_s
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Execute every job; results come back in submission order."""
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        todo: List[int] = []
+        for index, job in enumerate(jobs):
+            cached = self._lookup(index, job)
+            if cached is not None:
+                results[index] = cached
+            else:
+                todo.append(index)
+
+        if todo:
+            if self.jobs == 1:
+                self._run_serial(jobs, todo, results)
+            else:
+                self._run_parallel(jobs, todo, results)
+
+        out = []
+        for index, result in enumerate(results):
+            assert result is not None, f"job {index} produced no result"
+            out.append(result)
+        return out
+
+    # ------------------------------------------------------------------
+    def _lookup(self, index: int, job: Job) -> Optional[JobResult]:
+        if self.cache is None:
+            return None
+        record = self.cache.get(job)
+        if record is None:
+            return None
+        return JobResult(
+            index=index,
+            job=job,
+            ok=True,
+            payload=record["payload"],
+            wall_s=float(record.get("wall_s", 0.0)),
+            cached=True,
+        )
+
+    def _store(self, result: JobResult) -> None:
+        if self.cache is not None and result.ok and result.payload is not None:
+            self.cache.put(result.job, result.payload, result.wall_s)
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        jobs: Sequence[Job],
+        todo: Sequence[int],
+        results: List[Optional[JobResult]],
+    ) -> None:
+        """In-process path: debugging/coverage friendly, no timeout."""
+        for index in todo:
+            job = jobs[index]
+            try:
+                payload, wall = timed_execute(job)
+                result = JobResult(index=index, job=job, ok=True,
+                                   payload=payload, wall_s=wall)
+            except Exception:
+                result = JobResult(index=index, job=job, ok=False,
+                                   error=traceback.format_exc())
+            self._store(result)
+            results[index] = result
+
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        jobs: Sequence[Job],
+        todo: Sequence[int],
+        results: List[Optional[JobResult]],
+    ) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        queue = list(todo)
+        active: Dict[int, dict] = {}
+
+        def launch(index: int) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_child_main, args=(child_conn, jobs[index]), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            active[index] = {
+                "proc": proc,
+                "conn": parent_conn,
+                "started": time.perf_counter(),
+            }
+
+        def finish(index: int, result: JobResult) -> None:
+            entry = active.pop(index)
+            entry["conn"].close()
+            entry["proc"].join(timeout=5)
+            if entry["proc"].is_alive():  # pragma: no cover - defensive
+                entry["proc"].kill()
+                entry["proc"].join()
+            self._store(result)
+            results[index] = result
+
+        try:
+            while queue or active:
+                while queue and len(active) < self.jobs:
+                    launch(queue.pop(0))
+
+                conn_to_index = {entry["conn"]: idx for idx, entry in active.items()}
+                ready = connection_wait(
+                    list(conn_to_index), timeout=self.poll_interval_s
+                )
+                for conn in ready:
+                    index = conn_to_index[conn]
+                    job = jobs[index]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died before reporting (segfault, OOM kill).
+                        proc = active[index]["proc"]
+                        proc.join(timeout=5)
+                        finish(index, JobResult(
+                            index=index, job=job, ok=False,
+                            error=f"worker crashed (exit code {proc.exitcode})",
+                            wall_s=time.perf_counter() - active[index]["started"],
+                        ))
+                        continue
+                    if message[0] == "ok":
+                        _, payload, wall = message
+                        finish(index, JobResult(index=index, job=job, ok=True,
+                                                payload=payload, wall_s=wall))
+                    else:
+                        finish(index, JobResult(index=index, job=job, ok=False,
+                                                error=message[1]))
+
+                if self.timeout_s is not None:
+                    now = time.perf_counter()
+                    for index in list(active):
+                        elapsed = now - active[index]["started"]
+                        if elapsed <= self.timeout_s:
+                            continue
+                        entry = active[index]
+                        entry["proc"].terminate()
+                        finish(index, JobResult(
+                            index=index, job=jobs[index], ok=False,
+                            error=f"timeout after {elapsed:.2f}s "
+                                  f"(limit {self.timeout_s}s)",
+                            wall_s=elapsed,
+                        ))
+        finally:
+            for entry in active.values():  # pragma: no cover - defensive
+                entry["proc"].terminate()
+                entry["proc"].join(timeout=5)

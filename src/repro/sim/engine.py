@@ -15,18 +15,29 @@ from typing import Any, Callable, List, Optional
 class Event:
     """A scheduled callback.  Cancel with :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event dead; the engine skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -43,6 +54,7 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[Event] = []
         self._seq = 0
+        self._live = 0
         self._running = False
         self.events_processed = 0
 
@@ -57,8 +69,9 @@ class Simulator:
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
-        ev = Event(time, self._seq, fn, args)
+        ev = Event(time, self._seq, fn, args, self)
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -78,6 +91,7 @@ class Simulator:
             heapq.heappop(heap)
             if ev.cancelled:
                 continue
+            self._live -= 1
             self.now = ev.time
             ev.fn(*ev.args)
             self.events_processed += 1
@@ -93,5 +107,9 @@ class Simulator:
         self._running = False
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a counter maintained on schedule/cancel/pop rather than a
+        scan of the heap (cancelled entries stay heaped until popped).
+        """
+        return self._live

@@ -13,7 +13,7 @@ iteration converges within (max hop count + 1) rounds in practice.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence
 
 from repro.sim.link import Link
 

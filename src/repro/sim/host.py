@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, TYPE_CHECKING
 
-from repro.sim.messages import Message, MessageQueue
+from repro.sim.messages import MessageQueue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.network import Network

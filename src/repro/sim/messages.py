@@ -18,7 +18,8 @@ class Message:
 
     __slots__ = ("msg_id", "size_bits", "enqueue_time", "complete_time", "meta")
 
-    def __init__(self, msg_id: str, size_bits: float, enqueue_time: float, meta: Optional[dict] = None):
+    def __init__(self, msg_id: str, size_bits: float, enqueue_time: float,
+                 meta: Optional[dict] = None):
         self.msg_id = msg_id
         self.size_bits = float(size_bits)
         self.enqueue_time = enqueue_time

@@ -8,7 +8,6 @@ time-series samples for the figures.
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Event, Simulator

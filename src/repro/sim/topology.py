@@ -9,7 +9,7 @@ small classic topologies (dumbbell, parking lot) used in unit tests.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.link import Link
 

@@ -9,9 +9,8 @@ in bytes, matching the commonly used web-search and key-value shapes.
 from __future__ import annotations
 
 import bisect
-import math
 import random
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.host import VMPair

@@ -7,9 +7,8 @@
 
 from __future__ import annotations
 
-import itertools
 import math
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 from repro.sim.engine import Simulator
 from repro.sim.host import VMPair

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core.admission import (
     ENTITLEMENT_SATURATION_BDP,
     additive_increment,
-    alpha_fair_rates,
     bootstrap_window,
     dual_recursion,
     inflight_bound,

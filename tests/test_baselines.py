@@ -14,7 +14,6 @@ from repro.baselines import (
     make_fabric,
 )
 from repro.baselines.fabrics import SCHEME_NAMES, WccEcmpFabric
-from repro.core.params import UFabParams
 from repro.sim.host import VMPair
 from repro.sim.network import Network
 from repro.sim.topology import dumbbell, three_tier_testbed

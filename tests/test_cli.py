@@ -44,3 +44,35 @@ def test_fig4_command_tiny_run(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["nope"])
+
+
+def test_every_figure_command_accepts_jobs():
+    parser = build_parser()
+    for name in COMMANDS:
+        args = parser.parse_args([name, "--jobs", "3", "--no-cache"])
+        assert args.jobs == 3 and args.no_cache
+
+
+def test_fig4_parallel_matches_serial(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    argv = ["fig4", "--duration", "0.004", "--degrees", "2",
+            "--schemes", "ufab", "--no-cache"]
+    assert main(argv + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + ["--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_bench_command_writes_report(capsys, tmp_path):
+    out = tmp_path / "BENCH_smoke.json"
+    assert main(["bench", "--grid", "smoke", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "bench smoke" in printed and "report written" in printed
+    assert out.exists()
+
+
+def test_bench_rejects_unknown_grid():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bench", "--grid", "not-a-grid"])

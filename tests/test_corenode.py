@@ -104,7 +104,7 @@ def test_false_positive_omits_contribution():
 def test_measured_tx_windows_over_bytes():
     agent, link = make_agent()
     link.set_inflow(0.0, 4e9)
-    first = agent.measured_tx(0.0)
+    agent.measured_tx(0.0)  # prime the windowed meter
     # After 100 us of 4 Gbps the windowed meter reads ~4 Gbps (EWMA'd).
     value = agent.measured_tx(100e-6)
     assert 0.0 <= value <= 10e9

@@ -187,7 +187,7 @@ def test_scout_probes_do_not_subscribe_candidates():
 
 def test_idle_pair_retires_registers_and_resumes():
     topo, net, fabric = dumbbell_fabric(1, idle_timeout_s=0.5e-3)
-    pair = add(fabric, 0, 2000)
+    add(fabric, 0, 2000)
     net.run(0.01)
     fabric.set_demand("p0", 0.0)
     net.run(0.02)  # well past the idle timeout
@@ -224,7 +224,7 @@ def test_remove_pair_cleans_up():
 
 def test_receiver_token_bounds_effective_phi():
     topo, net, fabric = dumbbell_fabric(1)
-    pair = add(fabric, 0, 5000)
+    add(fabric, 0, 5000)
     # Receiver only admits 1000 tokens for this pair.
     fabric.edges["dst0"].receiver_tokens["p0"] = 1000.0
     net.run(0.02)

@@ -1,11 +1,10 @@
 """Tests for optional uFAB-E behaviours: reordering avoidance, lazy
 probing, explicit-rate mode, and probe-loss handling."""
 
-import math
 
 import pytest
 
-from repro.core.edge import PairState, install_ufab
+from repro.core.edge import install_ufab
 from repro.core.params import UFabParams
 from repro.sim.host import VMPair
 from repro.sim.network import Network

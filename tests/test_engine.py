@@ -117,6 +117,38 @@ def test_pending_counts_live_events():
     assert sim.pending() == 1
 
 
+def test_pending_is_stable_under_double_cancel():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    ev.cancel()  # idempotent: must not decrement twice
+    assert sim.pending() == 1
+
+
+def test_pending_drains_to_zero_after_run():
+    sim = Simulator()
+    evs = [sim.schedule(i * 1e-3, lambda: None) for i in range(8)]
+    evs[3].cancel()
+    evs[5].cancel()
+    assert sim.pending() == 6
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_pending_tracks_events_scheduled_during_run():
+    sim = Simulator()
+
+    def chain(n):
+        if n:
+            sim.schedule(1e-3, chain, n - 1)
+        assert sim.pending() == (1 if n else 0)
+
+    sim.schedule(0.0, chain, 3)
+    sim.run()
+    assert sim.pending() == 0
+
+
 @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
 def test_arbitrary_delays_fire_in_nondecreasing_time(delays):
     sim = Simulator()

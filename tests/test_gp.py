@@ -1,6 +1,5 @@
 """Unit tests for dynamic Guarantee Partitioning (section 6 / Appendix E)."""
 
-import math
 
 import pytest
 
@@ -10,7 +9,7 @@ from repro.core.params import UFabParams
 from repro.sim.host import VMPair
 from repro.sim.messages import Message
 from repro.sim.network import Network
-from repro.sim.topology import dumbbell, three_tier_testbed
+from repro.sim.topology import three_tier_testbed
 
 
 def build_fabric():
@@ -27,8 +26,8 @@ def test_tokens_concentrate_on_active_pair():
         net.attach_message_queue(pair)
         fabric.add_pair(pair)
         pairs.append(pair)
-    gp = enable_gp(net, fabric, pairs, "t", per_vm_tokens=2000, unit_bandwidth=1e6,
-                   period_s=100e-6)
+    enable_gp(net, fabric, pairs, "t", per_vm_tokens=2000, unit_bandwidth=1e6,
+              period_s=100e-6)
     net.run(0.002)
     # Only the first pair gets traffic: a large burst at t = 2 ms.
     for i in range(16):
@@ -53,8 +52,8 @@ def test_receiver_admission_caps_concurrent_senders():
         pair = VMPair(f"t:{src}->S5", vf="t", src_host=src, dst_host="S5", phi=500)
         fabric.add_pair(pair)  # backlogged pairs (no message queue)
         pairs.append(pair)
-    gp = enable_gp(net, fabric, pairs, "t", per_vm_tokens=2000, unit_bandwidth=1e6,
-                   period_s=100e-6)
+    enable_gp(net, fabric, pairs, "t", per_vm_tokens=2000, unit_bandwidth=1e6,
+              period_s=100e-6)
     net.run(0.01)
     # Four persistently backlogged senders toward one VM: ~fair split of 2000.
     for pair in pairs:

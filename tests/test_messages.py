@@ -154,8 +154,6 @@ def test_completion_consistent_under_rate_churn(changes):
     done = q.completed[0].complete_time
     # Integrate the schedule up to `done`; should equal the size.
     service = 0.0
-    now = 0.0
-    current = 0.0
     schedule = []
     tt = 0.0
     for delay, rate in changes:

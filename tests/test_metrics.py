@@ -1,6 +1,5 @@
 """Unit tests for the analysis / metrics machinery."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

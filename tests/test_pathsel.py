@@ -1,6 +1,5 @@
 """Unit tests for path qualification and selection (section 3.5)."""
 
-import math
 import random
 
 import pytest
@@ -60,7 +59,7 @@ def test_summarize_empty_rejected():
 # ----------------------------------------------------------------------
 
 def test_qualification_counts_joining_tokens():
-    c_target_tokens = PARAMS.target_capacity(10e9) / 1e6  # 9500
+    # target capacity: PARAMS.target_capacity(10e9) / 1e6 tokens = 9500
     q = summarize_path([hop(phi_total=9000)], phi=400, measured_rtt=24e-6,
                        now=0.0, params=PARAMS)
     assert q.qualified_for(400, PARAMS.unit_bandwidth)  # 9400 <= 9500

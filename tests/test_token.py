@@ -1,6 +1,5 @@
 """Unit tests for token assignment (Appendix E, Algorithm 1)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -1,6 +1,5 @@
 """Unit tests for workload generators."""
 
-import math
 import random
 
 import pytest
@@ -64,7 +63,7 @@ def test_poisson_generator_hits_target_load():
         fabric.add_pair(pair)
         pairs.append(pair)
     dist = EmpiricalSize(KEY_VALUE_CDF)
-    generator = PoissonFlowGenerator(
+    _generator = PoissonFlowGenerator(
         net.sim, pairs, dist, load=0.3, reference_capacity=10e9,
         rng=random.Random(3), until=0.05,
     )
