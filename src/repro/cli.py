@@ -14,6 +14,13 @@ paper-style rows the benchmark suite produces.  Every figure command
 accepts ``--jobs N`` (default: ``REPRO_JOBS`` env var, else 1) to fan
 the sweep grid out over processes via :mod:`repro.runner`; results are
 memoized under ``.repro_cache/`` unless ``--no-cache`` is given.
+
+Every figure command also accepts ``--trace out.jsonl`` /
+``--chrome-trace out.json`` / ``--metrics out.json`` to capture the
+:mod:`repro.obs` event stream of every cell in the grid (traced runs use
+distinct cache keys, so they never alias untraced results), and ``repro
+trace <experiment>`` runs a single fully-instrumented cell for
+interactive inspection.
 """
 
 from __future__ import annotations
@@ -26,12 +33,41 @@ from repro.analysis.report import format_table
 from repro.runner.parallel import default_jobs
 
 
+def _obs_config(args) -> Optional[dict]:
+    """Translate --trace/--chrome-trace/--metrics into an ObsConfig mapping."""
+    want_trace = bool(getattr(args, "trace", None) or
+                      getattr(args, "chrome_trace", None))
+    want_metrics = bool(getattr(args, "metrics", None))
+    if not (want_trace or want_metrics):
+        return None
+    return {"trace": want_trace, "metrics": want_metrics}
+
+
 def _grid_kwargs(args) -> dict:
     return {
         "jobs": args.jobs,
         "use_cache": not args.no_cache,
         "cache_dir": args.cache_dir,
+        "obs": _obs_config(args),
     }
+
+
+def _write_obs(args, rows_raw) -> None:
+    """Merge per-cell captures and write the requested trace/metrics files."""
+    if _obs_config(args) is None:
+        return
+    from repro.obs.export import write_grid_outputs
+
+    summary = write_grid_outputs(
+        rows_raw,
+        trace_path=getattr(args, "trace", None),
+        chrome_path=getattr(args, "chrome_trace", None),
+        metrics_path=getattr(args, "metrics", None),
+    )
+    print(f"\nobs: {summary['events']} events from {summary['cells']} cells"
+          + (f" ({summary['dropped']} dropped)" if summary["dropped"] else ""))
+    for path in summary["files"]:
+        print(f"  wrote {path}")
 
 
 def _fig4(args) -> None:
@@ -50,18 +86,21 @@ def _fig4(args) -> None:
     ]
     print(format_table("Figure 4: incast RTT (us)",
                        ["scheme", "N", "p50", "p99", "p99.9"], rows))
+    _write_obs(args, rows_raw)
 
 
 def _case2(args) -> None:
     from repro.experiments import case2_migration
 
-    for r in case2_migration.run_grid(duration=args.duration,
-                                      **_grid_kwargs(args)):
+    rows_raw = case2_migration.run_grid(duration=args.duration,
+                                        **_grid_kwargs(args))
+    for r in rows_raw:
         gap = r["flowlet_gap_s"]
         label = r["scheme"] if gap is None else f"{r['scheme']}@{gap * 1e6:.0f}us"
         print(f"{label:14s} F1 satisfied: {r['f1_satisfied_after_join']}  "
               f"F4 satisfied: {r['f4_satisfied_after_join']}  "
               f"F4 migrations: {r['migrations_f4']}")
+    _write_obs(args, rows_raw)
 
 
 def _fig11(args) -> None:
@@ -79,6 +118,7 @@ def _fig11(args) -> None:
     ]
     print(format_table("Figure 11: dissatisfaction / queue p99",
                        ["scheme", "dissatisfaction", "queue p99"], rows))
+    _write_obs(args, rows_raw)
 
 
 def _fig12(args) -> None:
@@ -97,6 +137,7 @@ def _fig12(args) -> None:
     ]
     print(format_table("Figure 12: 14-to-1 incast RTT (us)",
                        ["scheme", "p50", "p99", "max"], rows))
+    _write_obs(args, rows_raw)
 
 
 def _fig16(args) -> None:
@@ -115,6 +156,7 @@ def _fig16(args) -> None:
     ]
     print(format_table("Figure 16: 90-to-1 dynamic workload",
                        ["scheme", "util", "RTT p99 (us)", "RTT max (us)"], rows))
+    _write_obs(args, rows_raw)
 
 
 def _tables(args) -> None:
@@ -157,6 +199,7 @@ def _bench(args) -> None:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         out=args.out,
+        profile=args.profile,
     )
     rows = [
         [r["experiment"], r["scheme"], r["seed"],
@@ -178,14 +221,61 @@ def _bench(args) -> None:
         raise SystemExit(1)
 
 
+def _trace(args) -> None:
+    """``repro trace <experiment>``: one fully-instrumented cell, in-process."""
+    import dataclasses
+
+    from repro.obs.export import write_grid_outputs
+    from repro.runner.bench import build_grid
+    from repro.runner.job import execute_job
+
+    grid_jobs = build_grid(
+        args.experiment,
+        schemes=(args.scheme,) if args.scheme else None,
+        seeds=(args.seed,),
+        duration=args.duration,
+    )
+    if args.scheme:
+        grid_jobs = [j for j in grid_jobs if j.scheme == args.scheme] or grid_jobs
+    job = grid_jobs[0]
+    obs = {"trace": True, "metrics": True, "profile": True,
+           "trace_capacity": args.capacity}
+    payload = execute_job(dataclasses.replace(job, obs=obs))
+    trace_path = args.out or f"TRACE_{args.experiment}.jsonl"
+    summary = write_grid_outputs(
+        [payload],
+        trace_path=trace_path,
+        chrome_path=args.chrome,
+        metrics_path=args.metrics_out,
+    )
+    capture = payload.get("_obs", {})
+    profile = capture.get("profile", {})
+    print(f"traced {job.experiment} scheme={job.scheme or '-'} seed={job.seed}")
+    print(f"  events: {summary['events']}"
+          + (f" ({summary['dropped']} dropped by ring)" if summary["dropped"] else ""))
+    if profile.get("events_per_sec"):
+        print(f"  engine: {profile['events']} sim events, "
+              f"{profile['events_per_sec']:,.0f} events/s, "
+              f"max heap {profile['max_heap']}")
+    for path in summary["files"]:
+        print(f"  wrote {path}")
+
+
 COMMANDS: Dict[str, Dict] = {
-    "fig4": {"fn": _fig4, "help": "Case-1 incast RTT sweep", "duration": 0.02},
-    "case2": {"fn": _case2, "help": "Case-2 migration scenario", "duration": 0.16},
-    "fig11": {"fn": _fig11, "help": "guarantee + work conservation", "duration": 0.25},
-    "fig12": {"fn": _fig12, "help": "14-to-1 incast, 4 schemes", "duration": 0.04},
-    "fig16": {"fn": _fig16, "help": "90-to-1 dynamic workload", "duration": 0.02},
-    "tables": {"fn": _tables, "help": "Tables 3-4 resource models", "duration": 0.0},
-    "overhead": {"fn": _overhead, "help": "Figure 15b probing overhead", "duration": 0.0},
+    "fig4": {"fn": _fig4, "help": "Case-1 incast RTT sweep", "duration": 0.02,
+             "grid": True},
+    "case2": {"fn": _case2, "help": "Case-2 migration scenario", "duration": 0.16,
+              "grid": True},
+    "fig11": {"fn": _fig11, "help": "guarantee + work conservation",
+              "duration": 0.25, "grid": True},
+    "fig12": {"fn": _fig12, "help": "14-to-1 incast, 4 schemes", "duration": 0.04,
+              "grid": True},
+    "fig16": {"fn": _fig16, "help": "90-to-1 dynamic workload", "duration": 0.02,
+              "grid": True},
+    "tables": {"fn": _tables, "help": "Tables 3-4 resource models",
+               "duration": 0.0, "grid": False},
+    "overhead": {"fn": _overhead, "help": "Figure 15b probing overhead",
+                 "duration": 0.0, "grid": False},
 }
 
 
@@ -197,6 +287,15 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
                    help="bypass the on-disk result cache")
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: .repro_cache)")
+
+
+def _add_obs_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write every cell's trace events as JSONL")
+    p.add_argument("--chrome-trace", metavar="PATH", default=None,
+                   help="write a chrome://tracing / Perfetto JSON trace")
+    p.add_argument("--metrics", metavar="PATH", default=None,
+                   help="write per-cell metrics registry dumps as JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,7 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--degrees", nargs="*", type=int,
                        default=[2, 6, 10, 14], help="incast degrees (fig4)")
         _add_runner_options(p)
+        if spec["grid"]:
+            _add_obs_options(p)
 
+    from repro.obs.trace import DEFAULT_CAPACITY
     from repro.runner.bench import GRIDS
 
     b = sub.add_parser("bench", help="run a sweep grid, emit BENCH_*.json")
@@ -233,7 +335,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job timeout in wall seconds")
     b.add_argument("--out", default=None,
                    help="report path (default: BENCH_<grid>.json)")
+    b.add_argument("--profile", action="store_true",
+                   help="attach the obs event-loop profiler to every cell "
+                        "(distinct cache keys from unprofiled runs)")
     _add_runner_options(b)
+
+    t = sub.add_parser(
+        "trace",
+        help="run one fully-instrumented cell, write its trace",
+        description="Run a single grid cell in-process with tracing, "
+                    "metrics, and profiling all enabled, then write the "
+                    "captured event stream for interactive inspection.",
+    )
+    t.add_argument("experiment", choices=sorted(GRIDS),
+                   help="which experiment grid to pick the cell from")
+    t.add_argument("--scheme", default=None,
+                   help="pick the cell with this scheme (default: first cell)")
+    t.add_argument("--seed", type=int, default=1, help="cell seed (default: 1)")
+    t.add_argument("--duration", type=float, default=None,
+                   help="simulated seconds (default: per-grid bench duration)")
+    t.add_argument("--out", default=None,
+                   help="JSONL trace path (default: TRACE_<experiment>.jsonl)")
+    t.add_argument("--chrome", metavar="PATH", default=None,
+                   help="also write a chrome://tracing / Perfetto JSON trace")
+    t.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="also write the cell's metrics registry dump")
+    t.add_argument("--capacity", type=int, default=DEFAULT_CAPACITY,
+                   help=f"trace ring-buffer capacity (default: {DEFAULT_CAPACITY})")
     return parser
 
 
@@ -245,6 +373,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, spec in COMMANDS.items():
             print(f"  {name:10s} {spec['help']}")
         print("  bench      run a sweep grid, emit BENCH_*.json")
+        print("  trace      run one fully-instrumented cell, write its trace")
         print("\n(benchmarks/ regenerates everything: "
               "pytest benchmarks/ --benchmark-only -s)")
         return 0
@@ -253,6 +382,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "bench":
             _bench(args)
+        elif args.command == "trace":
+            _trace(args)
         else:
             COMMANDS[args.command]["fn"](args)
     except GridError as exc:

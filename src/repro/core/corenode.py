@@ -18,7 +18,49 @@ from typing import Dict, Optional, Tuple
 from repro.core.bloom import CountingBloomFilter
 from repro.core.params import UFabParams
 from repro.core.probe import HopRecord, ProbeHeader, ProbeKind
+from repro.obs import OBS
 from repro.sim.link import Link
+
+# ---------------------------------------------------------------------
+# Observability declarations (recorded only when OBS.enabled)
+# ---------------------------------------------------------------------
+_EV_QUEUE = OBS.metrics.event(
+    "link.queue", fields=("link", "q_bits", "tx_bps", "phi_total", "window_total"),
+    site="repro/core/corenode.py:CoreAgent.stamp",
+    desc="Per-probe INT sample of a link: the q_l/tx_l/Phi_l/W_l the probe saw.")
+_EV_REGISTER = OBS.metrics.event(
+    "core.register", fields=("link", "pair", "phi", "window"),
+    site="repro/core/corenode.py:CoreAgent._register",
+    desc="A data probe registered a new VM-pair into the link's Phi_l/W_l.")
+_EV_SWEEP = OBS.metrics.event(
+    "core.sweep", fields=("link", "removed"),
+    site="repro/core/corenode.py:CoreAgent.sweep",
+    desc="Periodic sweep retired silently-inactive pairs from the registers.")
+_S_QUEUE = OBS.metrics.series(
+    "core.queue_bits", unit="bits (key: link)",
+    site="repro/core/corenode.py:CoreAgent.stamp",
+    desc="q_l sampled at every probe stamping, per link.")
+_S_TX = OBS.metrics.series(
+    "core.tx_bps", unit="bits/s (key: link)",
+    site="repro/core/corenode.py:CoreAgent.stamp",
+    desc="Metered tx_l sampled at every probe stamping, per link.")
+_G_PHI = OBS.metrics.gauge(
+    "core.phi_total", unit="tokens (key: link)",
+    site="repro/core/corenode.py:CoreAgent.stamp",
+    desc="Current Phi_l register value, per link.")
+_G_WINDOW = OBS.metrics.gauge(
+    "core.window_total", unit="bits (key: link)",
+    site="repro/core/corenode.py:CoreAgent.stamp",
+    desc="Current W_l register value, per link.")
+_M_BLOOM_FP = OBS.metrics.counter(
+    "core.bloom_false_positives", unit="probes",
+    site="repro/core/corenode.py:CoreAgent._register",
+    desc="Registrations skipped because the Bloom filter reported "
+         "an unseen pair as already present (Phi_l/W_l under-estimate).")
+_M_SWEPT = OBS.metrics.counter(
+    "core.sweep_removed", unit="pairs",
+    site="repro/core/corenode.py:CoreAgent.sweep",
+    desc="Register entries retired by the inactivity sweeper.")
 
 
 class CoreAgent:
@@ -74,11 +116,18 @@ class CoreAgent:
             # False positive: the pair looks already-seen, so its
             # contribution is omitted (Phi_l, W_l under-estimate).
             self.false_positives += 1
+            if OBS.enabled:
+                _M_BLOOM_FP.inc()
             return
         self.bloom.add(pair_id)
         self._table[pair_id] = (phi, window, now)
         self.phi_total += phi
         self.window_total += window
+        if OBS.enabled:
+            OBS.trace.record(now, _EV_REGISTER, {
+                "link": self.link.name, "pair": pair_id,
+                "phi": phi, "window": window,
+            })
 
     # Time constant of the TX meter.  Long enough to average over the
     # on/off cycle of bursty RPC traffic (otherwise probes, which are
@@ -104,16 +153,28 @@ class CoreAgent:
     def stamp(self, header: ProbeHeader, now: float) -> None:
         """Insert this hop's INT record (Figure 9, step 2-3)."""
         link = self.link
+        tx = self.measured_tx(now)
+        queue = link.queue_bits(now)
         header.hops.append(
             HopRecord(
                 window_total=self.window_total,
                 phi_total=self.phi_total,
-                tx_rate=self.measured_tx(now),
-                queue=link.queue_bits(now),
+                tx_rate=tx,
+                queue=queue,
                 capacity=link.capacity,
                 link_name=link.name,
             )
         )
+        if OBS.enabled:
+            name = link.name
+            OBS.trace.record(now, _EV_QUEUE, {
+                "link": name, "q_bits": queue, "tx_bps": tx,
+                "phi_total": self.phi_total, "window_total": self.window_total,
+            })
+            _S_QUEUE.sample(now, queue, key=name)
+            _S_TX.sample(now, tx, key=name)
+            _G_PHI.set(self.phi_total, key=name)
+            _G_WINDOW.set(self.window_total, key=name)
 
     # ------------------------------------------------------------------
     # Deactivation
@@ -139,6 +200,10 @@ class CoreAgent:
         stale = [pid for pid, (_, _, seen) in self._table.items() if now - seen > timeout]
         for pid in stale:
             self.on_finish(pid)
+        if stale and OBS.enabled:
+            _M_SWEPT.inc(len(stale))
+            OBS.trace.record(now, _EV_SWEEP,
+                             {"link": self.link.name, "removed": len(stale)})
         return len(stale)
 
     # ------------------------------------------------------------------

@@ -13,6 +13,11 @@ Migration policy: 5 consecutive violating RTTs (or probe loss) trigger
 a guarantee migration; a persistently better qualified path triggers a
 (much rarer) work-conservation migration.  Host-level freeze windows of
 U[1, N] RTTs prevent synchronized oscillation.
+
+Every lifecycle edge (admit/join/finish/idle), probe send/echo/loss,
+per-RTT rate update, and migration emits a trace event and samples the
+metrics registry when :mod:`repro.obs` observation is active — see
+``docs/METRICS.md`` for the catalogue.
 """
 
 from __future__ import annotations
@@ -32,10 +37,80 @@ from repro.core.corenode import CoreAgent, attach_core_agents
 from repro.core.params import UFabParams
 from repro.core.pathsel import PathBook, summarize_path
 from repro.core.probe import ProbeHeader, ProbeKind
+from repro.obs import OBS
 from repro.sim.engine import Event
 from repro.sim.host import VMPair
 from repro.sim.network import Network
 from repro.sim.topology import Path
+
+# ---------------------------------------------------------------------
+# Observability declarations (recorded only when OBS.enabled)
+# ---------------------------------------------------------------------
+_EV_ADMIT = OBS.metrics.event(
+    "pair.admit", fields=("pair", "phi", "n_candidates"),
+    site="repro/core/edge.py:PairController.start",
+    desc="A VM-pair joined: scout probes are out, path selection pending.")
+_EV_JOIN = OBS.metrics.event(
+    "pair.join", fields=("pair", "path", "state"),
+    site="repro/core/edge.py:PairController._finish_join",
+    desc="Join completed: the pair picked its initial path and entered ramp.")
+_EV_FINISH = OBS.metrics.event(
+    "pair.finish", fields=("pair",),
+    site="repro/core/edge.py:PairController.stop",
+    desc="The pair was torn down; finish probes retire its registers.")
+_EV_IDLE = OBS.metrics.event(
+    "pair.idle", fields=("pair",),
+    site="repro/core/edge.py:PairController._go_idle",
+    desc="Demand stayed zero past the idle timeout; the pair went IDLE.")
+_EV_PROBE_SEND = OBS.metrics.event(
+    "probe.send", fields=("pair", "kind", "seq", "path"),
+    site="repro/core/edge.py:PairController",
+    desc="A control/scout probe was launched on a path.")
+_EV_PROBE_ECHO = OBS.metrics.event(
+    "probe.echo", fields=("pair", "seq", "rtt_s", "n_hops"),
+    site="repro/core/edge.py:PairController._on_feedback",
+    desc="The probe response returned with INT records; control law runs.")
+_EV_PROBE_LOSS = OBS.metrics.event(
+    "probe.loss", fields=("pair", "consecutive"),
+    site="repro/core/edge.py:PairController._on_probe_loss",
+    desc="A probe timed out: window halved, RTT estimate inflated.")
+_EV_RATE = OBS.metrics.event(
+    "pair.rate", fields=("pair", "window_bits", "rate_bps", "state"),
+    site="repro/core/edge.py:PairController._apply_window",
+    desc="Per-RTT rate update: the Eqn 1-3 window applied to the pair.")
+_EV_MIGRATE = OBS.metrics.event(
+    "pair.migrate", fields=("pair", "reason", "from_path", "to_path"),
+    site="repro/core/edge.py:PairController._complete_migration",
+    desc="The pair moved to another path (guarantee / work-conservation "
+         "/ failure migration).")
+_M_PROBES = OBS.metrics.counter(
+    "edge.probes_sent", unit="probes", site="repro/core/edge.py:PairController",
+    desc="Control and scout probes launched by pair controllers.")
+_M_PROBE_LOSSES = OBS.metrics.counter(
+    "edge.probe_losses", unit="probes",
+    site="repro/core/edge.py:PairController._on_probe_loss",
+    desc="Probe timeouts observed at the edge.")
+_M_MIGRATIONS = OBS.metrics.counter(
+    "edge.migrations", unit="migrations",
+    site="repro/core/edge.py:PairController._complete_migration",
+    desc="Completed path migrations across all pairs.")
+_M_RATE_UPDATES = OBS.metrics.counter(
+    "edge.rate_updates", unit="updates",
+    site="repro/core/edge.py:PairController._apply_window",
+    desc="Window applications (per-RTT control-law executions).")
+_S_RATE = OBS.metrics.series(
+    "edge.pair_rate_bps", unit="bits/s (key: pair)",
+    site="repro/core/edge.py:PairController._apply_window",
+    desc="Transport-allowed rate per VM-pair, sampled at every window update.")
+_S_RTT = OBS.metrics.series(
+    "edge.pair_rtt_s", unit="seconds (key: pair)",
+    site="repro/core/edge.py:PairController._on_feedback",
+    desc="Measured probe RTT per VM-pair, sampled at every echo.")
+
+
+def _path_label(path) -> str:
+    """Compact printable path id for trace events: hop link names."""
+    return ">".join(link.name for link in path)
 
 # Kind value for read-only candidate probes: they stamp INT but do not
 # register the pair in Phi_l / W_l (otherwise scouting would subscribe
@@ -123,6 +198,11 @@ class PairController:
     def start(self) -> None:
         """Join: scout every candidate, then pick a path and ramp."""
         self.state = PairState.JOINING
+        if OBS.enabled:
+            OBS.trace.record(self.sim.now, _EV_ADMIT, {
+                "pair": self.pair.pair_id, "phi": self.phi(),
+                "n_candidates": len(self.book.candidates),
+            })
         pending = len(self.book.candidates)
         results: Dict[int, bool] = {}
 
@@ -144,6 +224,11 @@ class PairController:
             self.current_idx = choice
             self.network.migrate_pair(self.pair.pair_id, self.path())
         self._enter_ramp(bootstrap=True)
+        if OBS.enabled:
+            OBS.trace.record(self.sim.now, _EV_JOIN, {
+                "pair": self.pair.pair_id, "path": _path_label(self.path()),
+                "state": self.state.value,
+            })
         self._send_data_probe()
 
     def _enter_ramp(self, bootstrap: bool) -> None:
@@ -182,6 +267,8 @@ class PairController:
         if self.state != PairState.IDLE:
             self._send_finish()
         self.state = PairState.IDLE
+        if OBS.enabled:
+            OBS.trace.record(self.sim.now, _EV_FINISH, {"pair": self.pair.pair_id})
 
     # ------------------------------------------------------------------
     # Probing
@@ -224,6 +311,12 @@ class PairController:
             on_timeout,
         )
         self.stats["probes_sent"] += 1
+        if OBS.enabled:
+            _M_PROBES.inc()
+            OBS.trace.record(sent_at, _EV_PROBE_SEND, {
+                "pair": self.pair.pair_id, "kind": "scout",
+                "seq": header.seq, "path": _path_label(path),
+            })
         self.agent.launch_probe(self.pair, path, header, on_hop, on_response)
 
     def _send_data_probe(self) -> None:
@@ -255,12 +348,23 @@ class PairController:
         timeout = self.params.probe_timeout_rtts * max(self.base_rtt(idx), self.rtt_est)
         self._timeout_event = self.sim.schedule(timeout, self._on_probe_loss)
         self.stats["probes_sent"] += 1
+        if OBS.enabled:
+            _M_PROBES.inc()
+            OBS.trace.record(sent_at, _EV_PROBE_SEND, {
+                "pair": self.pair.pair_id, "kind": "probe",
+                "seq": header.seq, "path": _path_label(self.path(idx)),
+            })
         self.agent.launch_probe(self.pair, self.path(idx), header, on_hop, on_response)
 
     def _on_probe_loss(self) -> None:
         self._timeout_event = None
         self.stats["probe_losses"] += 1
         self.consecutive_losses += 1
+        if OBS.enabled:
+            _M_PROBE_LOSSES.inc()
+            OBS.trace.record(self.sim.now, _EV_PROBE_LOSS, {
+                "pair": self.pair.pair_id, "consecutive": self.consecutive_losses,
+            })
         if self.state == PairState.IDLE:
             return
         # Emergency brake: without feedback, a real windowed sender runs
@@ -319,6 +423,12 @@ class PairController:
 
     def _on_feedback(self, header: ProbeHeader, now: float, rtt: float) -> None:
         self._last_feedback_at = now
+        if OBS.enabled:
+            OBS.trace.record(now, _EV_PROBE_ECHO, {
+                "pair": self.pair.pair_id, "seq": header.seq,
+                "rtt_s": rtt, "n_hops": header.n_hops,
+            })
+            _S_RTT.sample(now, rtt, key=self.pair.pair_id)
         self.rtt_est = 0.5 * self.rtt_est + 0.5 * rtt
         if header.phi_receiver is not None:
             self.phi_receiver = header.phi_receiver
@@ -396,6 +506,14 @@ class PairController:
 
     def _apply_window(self) -> None:
         rate = self.window / max(self.rtt_est, 1e-9)
+        if OBS.enabled:
+            now = self.sim.now
+            _M_RATE_UPDATES.inc()
+            _S_RATE.sample(now, rate, key=self.pair.pair_id)
+            OBS.trace.record(now, _EV_RATE, {
+                "pair": self.pair.pair_id, "window_bits": self.window,
+                "rate_bps": rate, "state": self.state.value,
+            })
         self.network.set_pair_rate(self.pair.pair_id, rate)
 
     # ------------------------------------------------------------------
@@ -507,6 +625,13 @@ class PairController:
         now = self.sim.now
         t = self.base_rtt()
         self._desperate_rounds = 0
+        if OBS.enabled:
+            _M_MIGRATIONS.inc()
+            OBS.trace.record(now, _EV_MIGRATE, {
+                "pair": self.pair.pair_id, "reason": reason,
+                "from_path": _path_label(self.path()),
+                "to_path": _path_label(self.path(choice)),
+            })
         # Retire registers on the old path.
         self._send_finish()
         self.current_idx = choice
@@ -533,6 +658,8 @@ class PairController:
     # ------------------------------------------------------------------
     def _go_idle(self) -> None:
         self.state = PairState.IDLE
+        if OBS.enabled:
+            OBS.trace.record(self.sim.now, _EV_IDLE, {"pair": self.pair.pair_id})
         self.window = 0.0
         self.network.set_pair_rate(self.pair.pair_id, 0.0)
         self._cancel_timers()

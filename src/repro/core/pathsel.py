@@ -19,7 +19,28 @@ from typing import List, Optional, Sequence
 from repro.core.admission import proportional_share, work_conserving_rate
 from repro.core.params import UFabParams
 from repro.core.probe import HopRecord
+from repro.obs import OBS
 from repro.sim.topology import Path
+
+# PathBook has no simulator clock, so selection outcomes are counted in
+# the metrics registry rather than traced (the edge traces the
+# resulting pair.join / pair.migrate events with timestamps).
+_M_SELECTIONS = OBS.metrics.counter(
+    "path.selections", unit="decisions",
+    site="repro/core/pathsel.py:PathBook.select_initial",
+    desc="Qualified-path selections (join and migration scouting rounds).")
+_M_NO_QUALIFIED = OBS.metrics.counter(
+    "path.no_qualified", unit="decisions",
+    site="repro/core/pathsel.py:PathBook.select_initial",
+    desc="Selection rounds where no candidate path qualified.")
+_M_FALLBACKS = OBS.metrics.counter(
+    "path.fallbacks", unit="decisions",
+    site="repro/core/pathsel.py:PathBook.best_fallback",
+    desc="Fallback selections when nothing qualified (failures, overload).")
+_M_PATH_FAILED = OBS.metrics.counter(
+    "path.failed_marks", unit="paths",
+    site="repro/core/pathsel.py:PathBook.mark_failed",
+    desc="Candidate paths marked failed after probe loss or timeouts.")
 
 
 @dataclasses.dataclass
@@ -97,6 +118,8 @@ class PathBook:
         self.failed[index] = False
 
     def mark_failed(self, index: int) -> None:
+        if OBS.enabled and not self.failed[index]:
+            _M_PATH_FAILED.inc()
         self.failed[index] = True
 
     # ------------------------------------------------------------------
@@ -134,7 +157,11 @@ class PathBook:
             i for i in self.qualified_indices(phi, params, current=exclude) if i != exclude
         ]
         if not qualified:
+            if OBS.enabled:
+                _M_NO_QUALIFIED.inc()
             return None
+        if OBS.enabled:
+            _M_SELECTIONS.inc()
         best = min(self.quality[i].subscription for i in qualified)
         near_best = [i for i in qualified if self.quality[i].subscription <= best + 0.02]
         return rng.choice(near_best)
@@ -156,6 +183,8 @@ class PathBook:
     def best_fallback(self, rng: random.Random, exclude: Optional[int] = None) -> int:
         """When nothing is qualified (e.g. failures), pick the least-
         subscribed live path so the pair is not stranded."""
+        if OBS.enabled:
+            _M_FALLBACKS.inc()
         live = [i for i in range(len(self.candidates)) if not self.failed[i] and i != exclude]
         if not live:
             live = [i for i in range(len(self.candidates)) if i != exclude] or [0]

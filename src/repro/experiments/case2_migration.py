@@ -197,12 +197,13 @@ def run_grid(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
+    obs: Optional[Dict[str, object]] = None,
 ) -> "List[Dict[str, object]]":
     """The three Figure 5 panels through the parallel runner."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(duration), jobs=jobs, use_cache=use_cache,
-                  cache_dir=cache_dir)
+                  cache_dir=cache_dir, obs=obs)
 
 
 def run(duration: float = 0.2) -> List[MigrationResult]:

@@ -12,7 +12,7 @@ the configuration and code are unchanged.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.baselines.fabrics import make_fabric
 from repro.core.params import UFabParams
@@ -83,6 +83,7 @@ def run_grid(
     timeout_s: Optional[float] = None,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
+    obs: Optional[Mapping[str, Any]] = None,
 ) -> List[Dict[str, Any]]:
     """Submit a grid, return ordered payload rows; raise on failures.
 
@@ -90,13 +91,22 @@ def run_grid(
     serial run and an N-way run of the same grid return byte-identical
     rows.  Failed cells are collected (siblings still complete) and
     surfaced together in a :class:`GridError`.
+
+    ``obs`` (an observability config mapping, see :mod:`repro.obs`)
+    applies to every cell: each runs inside a capture and returns its
+    trace/metrics under the payload key ``"_obs"``.  The config is part
+    of each job's cache key, so traced results never alias untraced
+    ones.
     """
+    submitted = list(grid_jobs)
+    if obs:
+        submitted = [dataclasses.replace(job, obs=dict(obs)) for job in submitted]
     runner = ParallelRunner(
         jobs=jobs,
         timeout_s=timeout_s,
         cache=ResultCache(cache_dir) if use_cache else None,
     )
-    results = runner.run(list(grid_jobs))
+    results = runner.run(submitted)
     failed = [r for r in results if not r.ok]
     if failed:
         lines = [

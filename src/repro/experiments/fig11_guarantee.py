@@ -126,12 +126,13 @@ def run_grid(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
+    obs: Optional[Dict[str, object]] = None,
 ) -> List[Dict[str, object]]:
     """The Figure 11 sweep through the parallel runner (rows of dicts)."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(schemes, duration, seeds), jobs=jobs,
-                  use_cache=use_cache, cache_dir=cache_dir)
+                  use_cache=use_cache, cache_dir=cache_dir, obs=obs)
 
 
 def run(

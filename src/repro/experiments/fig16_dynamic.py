@@ -156,12 +156,13 @@ def run_grid(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
+    obs: Optional[Dict[str, object]] = None,
 ) -> List[Dict[str, object]]:
     """The Figure 16 sweep through the parallel runner (rows of dicts)."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(schemes, n_senders, duration), jobs=jobs,
-                  use_cache=use_cache, cache_dir=cache_dir)
+                  use_cache=use_cache, cache_dir=cache_dir, obs=obs)
 
 
 def run(

@@ -1,0 +1,66 @@
+"""``python -m repro.obs`` — observability documentation tooling.
+
+Subfunctions (exactly one per invocation):
+
+* ``--dump-docs``               print the generated METRICS.md to stdout
+* ``--write-docs PATH``         write the generated METRICS.md to PATH
+* ``--check-docs [PATH]``       exit 1 if PATH (default docs/METRICS.md)
+                                is out of sync with the registry
+* ``--check-links PATH [...]``  exit 1 on broken relative Markdown links
+                                (files or directories)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.obs.docs import broken_links, check_docs, generated_markdown
+
+DEFAULT_DOCS_PATH = "docs/METRICS.md"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Generate and check the observability reference docs.",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dump-docs", action="store_true",
+                       help="print the generated METRICS.md to stdout")
+    group.add_argument("--write-docs", metavar="PATH",
+                       help="write the generated METRICS.md to PATH")
+    group.add_argument("--check-docs", metavar="PATH", nargs="?",
+                       const=DEFAULT_DOCS_PATH,
+                       help=f"verify PATH matches the registry "
+                            f"(default: {DEFAULT_DOCS_PATH})")
+    group.add_argument("--check-links", metavar="PATH", nargs="+",
+                       help="check relative Markdown links in files/dirs")
+    args = parser.parse_args(argv)
+
+    if args.dump_docs:
+        sys.stdout.write(generated_markdown())
+        return 0
+    if args.write_docs:
+        with open(args.write_docs, "w", encoding="utf-8") as fh:
+            fh.write(generated_markdown())
+        print(f"wrote {args.write_docs}")
+        return 0
+    if args.check_docs:
+        problems = check_docs(args.check_docs)
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check_docs} is in sync")
+        return 1 if problems else 0
+    problems = broken_links(args.check_links)
+    for path, target in problems:
+        print(f"error: {path}: broken link -> {target}", file=sys.stderr)
+    if not problems:
+        print("all relative links resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

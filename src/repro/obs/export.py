@@ -1,0 +1,177 @@
+"""Trace/metrics exporters: JSONL lines and Chrome-trace (Perfetto) JSON.
+
+Two output formats:
+
+* **JSONL** — one event per line, ``{"t": <sim s>, "ev": <kind>,
+  "job": <cell label>, ...fields}``.  Greppable, streamable, and the
+  format ``repro <fig> --trace out.jsonl`` writes.
+* **Chrome trace** — the ``chrome://tracing`` / Perfetto "JSON object
+  format": a top-level ``{"traceEvents": [...]}`` whose entries use
+  ``ph: "M"`` (metadata), ``"i"`` (instant) and ``"C"`` (counter)
+  phases with microsecond ``ts``.  Each grid cell becomes one ``pid``
+  so a multi-scheme sweep lands as parallel process tracks.
+
+``write_grid_outputs`` is the CLI-side collector: grid cells return
+their capture under the payload key ``"_obs"`` (see
+:func:`repro.runner.job.execute_job`) and this function merges every
+cell's events/metrics into the requested files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+# Event kinds exported as Chrome counter tracks ("C" phase) rather than
+# instants: kind -> (track name field, [counter fields]).
+_COUNTER_KINDS = {
+    "link.queue": ("link", ["q_bits", "tx_bps"]),
+    "pair.rate": ("pair", ["rate_bps", "window_bits"]),
+}
+
+OBS_PAYLOAD_KEY = "_obs"
+
+
+def trace_to_jsonl_lines(events: Iterable[Sequence], job: Optional[str] = None) -> List[str]:
+    """Render ``(t, kind, fields)`` events as JSONL strings."""
+    lines = []
+    for t, kind, fields in events:
+        record: Dict[str, Any] = {"t": t, "ev": kind}
+        if job is not None:
+            record["job"] = job
+        record.update(fields)
+        lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    return lines
+
+
+def write_jsonl(path: str, captures: Sequence[Tuple[str, Iterable[Sequence]]]) -> int:
+    """Write labeled captures to one JSONL file, merged in time order."""
+    lines: List[Tuple[float, str]] = []
+    for label, events in captures:
+        events = list(events)
+        for (t, _, _), line in zip(events, trace_to_jsonl_lines(events, job=label)):
+            lines.append((t, line))
+    lines.sort(key=lambda pair: pair[0])
+    with open(path, "w", encoding="utf-8") as fh:
+        for _, line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def chrome_trace(captures: Sequence[Tuple[str, Iterable[Sequence]]]) -> Dict[str, Any]:
+    """Build a Chrome-trace ("JSON object format") document.
+
+    Loadable by ``chrome://tracing`` and Perfetto: instant events keep
+    the raw fields in ``args``; per-link queue and per-pair rate samples
+    become counter tracks so the telemetry plots directly.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for pid, (label, events) in enumerate(captures):
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        })
+        for t, kind, fields in events:
+            ts = t * 1e6  # Chrome trace timestamps are microseconds
+            counter = _COUNTER_KINDS.get(kind)
+            if counter is not None:
+                track_field, value_fields = counter
+                track = fields.get(track_field, "")
+                args = {f: fields[f] for f in value_fields if f in fields}
+                if args:
+                    trace_events.append({
+                        "name": f"{kind} {track}",
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": args,
+                    })
+                    continue
+            trace_events.append({
+                "name": kind,
+                "ph": "i",
+                "ts": ts,
+                "pid": pid,
+                "tid": 0,
+                "s": "p",
+                "args": dict(fields),
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(path: str, captures: Sequence[Tuple[str, Iterable[Sequence]]]) -> int:
+    document = chrome_trace(captures)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+        fh.write("\n")
+    return len(document["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Grid-level collection (CLI)
+# ----------------------------------------------------------------------
+
+def _cell_label(row: Dict[str, Any], index: int) -> str:
+    scheme = row.get("scheme")
+    label = str(scheme) if scheme else f"cell{index}"
+    seed = row.get("seed")
+    if seed is not None:
+        label += f"-s{seed}"
+    return label
+
+
+def collect_captures(rows: Sequence[Dict[str, Any]]) -> List[Tuple[str, Dict[str, Any]]]:
+    """(label, capture) for every row that carries observation data."""
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    seen: Dict[str, int] = {}
+    for index, row in enumerate(rows):
+        capture = row.get(OBS_PAYLOAD_KEY)
+        if not capture:
+            continue
+        label = _cell_label(row, index)
+        n = seen.get(label, 0)
+        seen[label] = n + 1
+        if n:
+            label = f"{label}.{n}"
+        out.append((label, capture))
+    return out
+
+
+def write_grid_outputs(
+    rows: Sequence[Dict[str, Any]],
+    trace_path: Optional[str] = None,
+    chrome_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Write the requested observability files from grid payload rows.
+
+    Returns a summary: files written, event totals, ring-drop counts.
+    """
+    captures = collect_captures(rows)
+    summary: Dict[str, Any] = {
+        "cells": [label for label, _ in captures],
+        "files": [],
+        "events": 0,
+        "dropped": sum(int(c.get("trace_dropped", 0)) for _, c in captures),
+    }
+    event_captures = [
+        (label, capture.get("trace", [])) for label, capture in captures
+    ]
+    summary["events"] = sum(len(events) for _, events in event_captures)
+    if trace_path:
+        write_jsonl(trace_path, event_captures)
+        summary["files"].append(trace_path)
+    if chrome_path:
+        write_chrome(chrome_path, event_captures)
+        summary["files"].append(chrome_path)
+    if metrics_path:
+        document = {label: capture.get("metrics", {}) for label, capture in captures}
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        summary["files"].append(metrics_path)
+    return summary

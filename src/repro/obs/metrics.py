@@ -1,0 +1,209 @@
+"""Named metrics — counters, gauges, time-series — in a global registry.
+
+Instrumented modules *declare* their metrics once at import time::
+
+    from repro.obs import OBS
+
+    _M_PROBES = OBS.metrics.counter(
+        "edge.probes_sent", unit="probes", site="repro/core/edge.py",
+        desc="Control and scout probes launched by pair controllers.")
+
+and *record* into them only behind an ``if OBS.enabled:`` guard, so a
+disabled run pays nothing beyond the declaration.  Declarations are
+idempotent (re-declaring the same spec returns the same object) and the
+registry is the single source of truth for ``docs/METRICS.md``, which
+``python -m repro.obs --write-docs`` regenerates.
+
+Trace *event* kinds are declared here too (:meth:`MetricsRegistry.event`)
+so the documentation covers every name that can appear in a trace file,
+even though the events themselves land in :class:`repro.obs.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+# Per-key cap for time-series points: enough for a figure-length run at
+# per-RTT cadence without letting a long sweep grow without bound.
+SERIES_CAPACITY = 4096
+
+
+class Metric:
+    """Common declaration data for one named metric."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, unit: str, site: str, desc: str) -> None:
+        self.name = name
+        self.unit = unit
+        self.site = site
+        self.desc = desc
+
+    def spec(self) -> Tuple[str, str, str, str]:
+        return (self.kind, self.unit, self.site, self.desc)
+
+    def reset(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def dump(self) -> Dict[str, Any]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonic count (events, bits, ...) since the capture started."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, unit: str, site: str, desc: str) -> None:
+        super().__init__(name, unit, site, desc)
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def dump(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "unit": self.unit, "value": self.value}
+
+
+class Gauge(Metric):
+    """Last-written value, optionally per key (e.g. per link)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, unit: str, site: str, desc: str) -> None:
+        super().__init__(name, unit, site, desc)
+        self.values: Dict[str, float] = {}
+
+    def set(self, value: float, key: str = "") -> None:
+        self.values[key] = value
+
+    def get(self, key: str = "") -> Optional[float]:
+        return self.values.get(key)
+
+    def reset(self) -> None:
+        self.values.clear()
+
+    def dump(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "unit": self.unit, "values": dict(self.values)}
+
+
+class Series(Metric):
+    """Bounded ``(t, value)`` time-series, optionally per key.
+
+    Each key keeps the most recent :data:`SERIES_CAPACITY` points (a
+    deque ring); older points are counted in ``dropped`` rather than
+    silently vanishing.
+    """
+
+    kind = "series"
+
+    def __init__(self, name: str, unit: str, site: str, desc: str,
+                 capacity: int = SERIES_CAPACITY) -> None:
+        super().__init__(name, unit, site, desc)
+        self.capacity = capacity
+        self._points: Dict[str, collections.deque] = {}
+        self.dropped: Dict[str, int] = {}
+
+    def sample(self, t: float, value: float, key: str = "") -> None:
+        pts = self._points.get(key)
+        if pts is None:
+            pts = self._points[key] = collections.deque(maxlen=self.capacity)
+        if len(pts) == self.capacity:
+            self.dropped[key] = self.dropped.get(key, 0) + 1
+        pts.append((t, value))
+
+    def points(self, key: str = "") -> List[Tuple[float, float]]:
+        return list(self._points.get(key, ()))
+
+    def keys(self) -> List[str]:
+        return sorted(self._points)
+
+    def reset(self) -> None:
+        self._points.clear()
+        self.dropped.clear()
+
+    def dump(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "points": {k: [list(p) for p in pts] for k, pts in sorted(self._points.items())},
+            "dropped": dict(self.dropped),
+        }
+
+
+class TraceEventSpec:
+    """Declaration of one trace event kind (for documentation only)."""
+
+    def __init__(self, name: str, fields: Sequence[str], site: str, desc: str) -> None:
+        self.name = name
+        self.fields = tuple(fields)
+        self.site = site
+        self.desc = desc
+
+    def spec(self) -> Tuple[Tuple[str, ...], str, str]:
+        return (self.fields, self.site, self.desc)
+
+
+class MetricsRegistry:
+    """All declared metrics and trace-event kinds, by name."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._events: Dict[str, TraceEventSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Declaration (import time; idempotent)
+    # ------------------------------------------------------------------
+    def _declare(self, cls, name: str, unit: str, site: str, desc: str) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.spec() != (cls.kind, unit, site, desc):
+                raise ValueError(f"metric {name!r} re-declared with a different spec")
+            return existing
+        metric = cls(name, unit, site, desc)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, unit: str, site: str, desc: str) -> Counter:
+        return self._declare(Counter, name, unit, site, desc)
+
+    def gauge(self, name: str, unit: str, site: str, desc: str) -> Gauge:
+        return self._declare(Gauge, name, unit, site, desc)
+
+    def series(self, name: str, unit: str, site: str, desc: str) -> Series:
+        return self._declare(Series, name, unit, site, desc)
+
+    def event(self, name: str, fields: Sequence[str], site: str, desc: str) -> str:
+        """Declare a trace event kind; returns the name for call sites."""
+        existing = self._events.get(name)
+        if existing is not None:
+            if existing.spec() != (tuple(fields), site, desc):
+                raise ValueError(f"trace event {name!r} re-declared with a different spec")
+            return name
+        self._events[name] = TraceEventSpec(name, fields, site, desc)
+        return name
+
+    # ------------------------------------------------------------------
+    # Access / lifecycle
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def metrics(self) -> List[Metric]:
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def events(self) -> List[TraceEventSpec]:
+        return [self._events[name] for name in sorted(self._events)]
+
+    def reset(self) -> None:
+        """Zero every metric's values (declarations stay)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def dump(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of every metric's current values."""
+        return {name: self._metrics[name].dump() for name in sorted(self._metrics)}

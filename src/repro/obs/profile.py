@@ -1,0 +1,94 @@
+"""Event-loop profiling: events/sec, heap depth, wall time per sim-second.
+
+:class:`SimProfiler` instances are attached by ``Simulator.__init__``
+when a capture with ``profile: true`` is active (see
+:meth:`repro.obs.Observer.new_sim_profiler`); ``Simulator.run`` then
+switches to an instrumented copy of its event loop that calls
+:meth:`tick` every ``sample_every`` events.  A plain run carries
+``profiler is None`` and executes the original tight loop, so disabled
+mode adds no per-event work.
+
+The :meth:`summary` feeds ``BENCH_*.json`` via ``repro bench --profile``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Tuple
+
+# Cap on retained (sim_time, events, heap_depth) samples per profiler.
+MAX_SAMPLES = 4096
+
+
+class SimProfiler:
+    """Per-simulator event-loop profile accumulated across run() calls."""
+
+    def __init__(self, sample_every: int = 1000) -> None:
+        self.sample_every = max(1, int(sample_every))
+        self.samples: List[Tuple[float, int, int]] = []
+        self.sample_drops = 0
+        self.wall_s = 0.0
+        self.sim_s = 0.0
+        self.events = 0
+        self.max_heap = 0
+        self.runs = 0
+        self._run_t0 = 0.0
+        self._run_now0 = 0.0
+
+    # ------------------------------------------------------------------
+    # Hooks called by Simulator.run()
+    # ------------------------------------------------------------------
+    def begin(self, sim) -> None:
+        self.runs += 1
+        self._run_now0 = sim.now
+        self._run_t0 = time.perf_counter()
+
+    def tick(self, sim, heap_depth: int) -> None:
+        if heap_depth > self.max_heap:
+            self.max_heap = heap_depth
+        if len(self.samples) < MAX_SAMPLES:
+            self.samples.append((sim.now, sim.events_processed, heap_depth))
+        else:
+            self.sample_drops += 1
+
+    def end(self, sim) -> None:
+        self.wall_s += time.perf_counter() - self._run_t0
+        self.sim_s += sim.now - self._run_now0
+        self.events = sim.events_processed
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """JSON-serializable digest for bench reports."""
+        return {
+            "events": self.events,
+            "runs": self.runs,
+            "wall_s": round(self.wall_s, 6),
+            "sim_s": round(self.sim_s, 9),
+            "events_per_sec": round(self.events / self.wall_s, 1) if self.wall_s > 0 else None,
+            "wall_per_sim_s": round(self.wall_s / self.sim_s, 6) if self.sim_s > 0 else None,
+            "max_heap": self.max_heap,
+            "n_samples": len(self.samples),
+            "sample_drops": self.sample_drops,
+        }
+
+
+def merged_summary(profilers: List[SimProfiler]) -> Dict[str, Any]:
+    """Combine per-simulator profiles into one capture-level digest.
+
+    Most cells build exactly one :class:`Simulator`; experiments that
+    build several (e.g. a sweep inside one cell) still report a single
+    aggregate, with the per-sim breakdown kept under ``"sims"``.
+    """
+    events = sum(p.events for p in profilers)
+    wall = sum(p.wall_s for p in profilers)
+    sim_s = sum(p.sim_s for p in profilers)
+    return {
+        "n_sims": len(profilers),
+        "events": events,
+        "wall_s": round(wall, 6),
+        "sim_s": round(sim_s, 9),
+        "events_per_sec": round(events / wall, 1) if wall > 0 else None,
+        "wall_per_sim_s": round(wall / sim_s, 6) if sim_s > 0 else None,
+        "max_heap": max((p.max_heap for p in profilers), default=0),
+        "sims": [p.summary() for p in profilers],
+    }

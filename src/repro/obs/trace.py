@@ -1,0 +1,67 @@
+"""Ring-buffered structured event recorder.
+
+A trace event is ``(t, kind, fields)``: simulated time, a declared
+event-kind name (see :meth:`repro.obs.metrics.MetricsRegistry.event`),
+and a small flat dict of JSON-serializable fields.  The buffer is a
+fixed-capacity ring so a long run can never exhaust memory: once full,
+the oldest events are overwritten and counted in :meth:`dropped`.
+
+A capacity of zero makes the trace inert — :meth:`record` only counts —
+which is what the disabled-mode :data:`repro.obs.OBS` singleton carries
+so stray records (e.g. someone flipping ``OBS.enabled`` by hand without
+:meth:`~repro.obs.Observer.capture`) stay harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+TraceEvent = Tuple[float, str, Dict[str, Any]]
+
+DEFAULT_CAPACITY = 65536
+
+
+class Trace:
+    """Fixed-capacity ring buffer of structured events."""
+
+    __slots__ = ("capacity", "_buf", "_n")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError(f"negative trace capacity: {capacity}")
+        self.capacity = capacity
+        self._buf: List[Optional[TraceEvent]] = [None] * capacity
+        self._n = 0  # total records ever, including overwritten ones
+
+    def record(self, t: float, kind: str, fields: Optional[Dict[str, Any]] = None) -> None:
+        """Append one event; wraps (overwriting the oldest) when full."""
+        if self.capacity:
+            self._buf[self._n % self.capacity] = (t, kind, fields if fields is not None else {})
+        self._n += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Number of record() calls, whether or not the event survived."""
+        return self._n
+
+    def __len__(self) -> int:
+        return min(self._n, self.capacity)
+
+    def dropped(self) -> int:
+        """Events overwritten by ring wrap-around (0 until the ring fills)."""
+        return max(0, self._n - self.capacity)
+
+    def events(self) -> List[TraceEvent]:
+        """Surviving events, oldest first."""
+        if not self.capacity:
+            return []
+        if self._n <= self.capacity:
+            return [e for e in self._buf[: self._n] if e is not None]
+        head = self._n % self.capacity
+        out = self._buf[head:] + self._buf[:head]
+        return [e for e in out if e is not None]
+
+    def clear(self) -> None:
+        self._buf = [None] * self.capacity
+        self._n = 0

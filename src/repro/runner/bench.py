@@ -8,6 +8,7 @@ same grid before and after a change and diff the JSON.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from typing import Any, Dict, List, Optional, Sequence
@@ -115,10 +116,20 @@ def run_bench(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     out: Optional[str] = None,
+    profile: bool = False,
 ) -> Dict[str, Any]:
-    """Run a grid and return (and optionally write) the bench report."""
+    """Run a grid and return (and optionally write) the bench report.
+
+    With ``profile=True`` every cell runs under the obs profiler and the
+    report carries the engine's own counters (events/sec measured inside
+    ``Simulator.run`` rather than across process setup), at the cost of a
+    distinct cache key from unprofiled runs.
+    """
     grid_jobs = build_grid(grid, schemes=schemes, seeds=seeds,
                            duration=duration, degrees=degrees)
+    if profile:
+        grid_jobs = [dataclasses.replace(j, obs={"profile": True})
+                     for j in grid_jobs]
     cache = ResultCache(cache_dir) if use_cache else None
     runner = ParallelRunner(jobs=jobs, timeout_s=timeout_s, cache=cache)
     start = time.perf_counter()
@@ -128,7 +139,7 @@ def run_bench(
     per_job = []
     for r in results:
         events = r.events_processed
-        per_job.append({
+        entry = {
             "index": r.index,
             "key": r.job.config_hash(),
             "experiment": r.job.experiment,
@@ -141,11 +152,17 @@ def run_bench(
             "events_processed": events,
             "events_per_sec": round(events / r.wall_s, 1) if r.wall_s > 0 else None,
             "error": r.error,
-        })
+        }
+        if r.ok and isinstance(r.payload, dict):
+            prof = r.payload.get("_obs", {}).get("profile")
+            if prof:
+                entry["profile"] = prof
+        per_job.append(entry)
 
     report = {
         "grid": grid,
         "jobs": jobs,
+        "profile": profile,
         "n_jobs": len(grid_jobs),
         "n_failed": sum(1 for r in results if not r.ok),
         "total_wall_s": round(total_wall, 6),

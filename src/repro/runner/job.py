@@ -81,6 +81,13 @@ class Job:
     by convention cells simply declare ``seed`` in ``params``).
     ``scheme`` and ``seed`` are denormalized labels for reporting;
     keep them consistent with ``params``.
+
+    ``obs`` is an observability config (:class:`repro.obs.ObsConfig`
+    keys: ``trace`` / ``metrics`` / ``profile`` / capacities).  When
+    non-empty the cell runs inside an ``OBS.capture`` and its payload
+    gains an ``"_obs"`` key with the exported trace/metrics/profile.
+    The config is part of :meth:`config_hash`, so traced and untraced
+    runs of the same cell never alias in the result cache.
     """
 
     experiment: str
@@ -88,6 +95,7 @@ class Job:
     scheme: str = ""
     seed: int = 0
     params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    obs: Mapping[str, Any] = dataclasses.field(default_factory=dict)
 
     def call_kwargs(self) -> Dict[str, Any]:
         return dict(self.params)
@@ -100,6 +108,7 @@ class Job:
             "scheme": self.scheme,
             "seed": self.seed,
             "params": dict(self.params),
+            "obs": dict(self.obs),
             "code_version": code_version(),
         }
         return hashlib.sha256(canonical_json(spec).encode()).hexdigest()[:24]
@@ -134,9 +143,24 @@ def execute_job(job: Job) -> Dict[str, Any]:
     The payload is round-tripped through JSON so in-process (``jobs=1``)
     and subprocess runs yield byte-identical rows (tuples become lists,
     numpy scalars are rejected early rather than silently differing).
+
+    When ``job.obs`` is non-empty, the cell runs inside an observation
+    capture (:mod:`repro.obs`) and the exported trace/metrics/profile is
+    attached to the payload under ``"_obs"``.  A job without obs config
+    takes the exact pre-observability path — disabled-mode figure
+    outputs are byte-identical to an uninstrumented run.
     """
     fn = resolve_entry(job.entry)
-    payload = fn(**job.call_kwargs())
+    if job.obs:
+        from repro.obs import OBS
+
+        with OBS.capture(dict(job.obs)) as cap:
+            payload = fn(**job.call_kwargs())
+        if isinstance(payload, Mapping):
+            payload = dict(payload)
+            payload["_obs"] = cap.export()
+    else:
+        payload = fn(**job.call_kwargs())
     if not isinstance(payload, Mapping):
         raise TypeError(
             f"entry {job.entry!r} returned {type(payload).__name__}; "

@@ -3,13 +3,27 @@
 A minimal, fast event loop: events are ``(time, sequence, callback)``
 triples in a binary heap.  The sequence number makes ordering total and
 deterministic for simultaneous events, which matters for reproducible
-convergence traces.
+convergence traces.  (The engine is simulation substrate, not a paper
+mechanism — the hardware→simulation mapping lives in ``DESIGN.md``; the
+event cadence it drives is the per-RTT control loop of sections
+3.3-3.5.)
+
+Profiling: when an observation capture with ``profile: true`` is active
+(see :mod:`repro.obs`), each Simulator attaches a
+:class:`~repro.obs.profile.SimProfiler` and :meth:`Simulator.run`
+executes an instrumented copy of its loop sampling events/sec, heap
+depth, and wall time per simulated second.  Without a capture the
+profiler is ``None`` and the original tight loop runs — zero per-event
+overhead in disabled mode.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, List, Optional
+
+from repro.obs import OBS
 
 
 class Event:
@@ -57,6 +71,10 @@ class Simulator:
         self._live = 0
         self._running = False
         self.events_processed = 0
+        # Wall-clock seconds spent inside run() (all calls), and the
+        # event-loop profiler (None unless an obs capture asks for one).
+        self.wall_s = 0.0
+        self.profiler = OBS.new_sim_profiler()
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -80,10 +98,50 @@ class Simulator:
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the last event fires earlier, so lazily-integrated state
         (link queues) can be synced at the horizon.
+
+        The loop exists twice: the plain variant below is the disabled-
+        mode hot path and must stay free of profiling work; the variant
+        in :meth:`_run_profiled` additionally samples the
+        :class:`~repro.obs.profile.SimProfiler` every ``sample_every``
+        events.  Keep their semantics identical when editing either.
         """
+        profiler = self.profiler
+        start = time.perf_counter()
+        if profiler is not None:
+            profiler.begin(self)
+            self._run_profiled(until, max_events, profiler)
+        else:
+            self._running = True
+            processed = 0
+            heap = self._heap
+            while heap and self._running:
+                ev = heap[0]
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(heap)
+                if ev.cancelled:
+                    continue
+                self._live -= 1
+                self.now = ev.time
+                ev.fn(*ev.args)
+                self.events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        self.wall_s += time.perf_counter() - start
+        if profiler is not None:
+            profiler.end(self)
+
+    def _run_profiled(self, until: Optional[float], max_events: Optional[int],
+                      profiler) -> None:
+        """The run() loop plus periodic profiler sampling."""
         self._running = True
         processed = 0
         heap = self._heap
+        sample_every = profiler.sample_every
         while heap and self._running:
             ev = heap[0]
             if until is not None and ev.time > until:
@@ -96,10 +154,10 @@ class Simulator:
             ev.fn(*ev.args)
             self.events_processed += 1
             processed += 1
+            if processed % sample_every == 0:
+                profiler.tick(self, len(heap))
             if max_events is not None and processed >= max_events:
                 break
-        if until is not None and self.now < until:
-            self.now = until
         self._running = False
 
     def stop(self) -> None:

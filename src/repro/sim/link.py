@@ -7,11 +7,26 @@ events the inflow is constant, so the queue evolves piecewise-linearly:
 :meth:`sync` method integrates this evolution lazily, which keeps the
 simulator cost proportional to the number of *control* events rather
 than packets.
+
+The observables (:meth:`tx_rate`, :meth:`queue_bits`) are the paper's
+``tx_l`` and ``q_l`` — what uFAB-C stamps into probes (section 3.6).
+Queue overflow drops are traced (``link.drop`` / ``link.dropped_bits``)
+when observation is enabled; the guard sits inside the overflow branch
+so the hot no-drop path is untouched.
 """
 
 from __future__ import annotations
 
 from typing import Optional
+
+from repro.obs import OBS
+
+_EV_DROP = OBS.metrics.event(
+    "link.drop", fields=("link", "bits"), site="repro/sim/link.py:Link.sync",
+    desc="Fluid queue overflowed max_queue; the excess bits were dropped.")
+_M_DROPPED = OBS.metrics.counter(
+    "link.dropped_bits", unit="bits", site="repro/sim/link.py:Link.sync",
+    desc="Total bits dropped at saturated queues across all links.")
 
 
 class Link:
@@ -72,8 +87,12 @@ class Link:
         if excess > 0:
             self.queue += excess
             if self.max_queue is not None and self.queue > self.max_queue:
-                self.dropped_bits += self.queue - self.max_queue
+                overflow = self.queue - self.max_queue
+                self.dropped_bits += overflow
                 self.queue = self.max_queue
+                if OBS.enabled:
+                    _M_DROPPED.inc(overflow)
+                    OBS.trace.record(now, _EV_DROP, {"link": self.name, "bits": overflow})
             served = self.capacity * dt
         elif self.queue > 0:
             drained = min(self.queue, -excess)
