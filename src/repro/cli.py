@@ -185,8 +185,46 @@ def _overhead(args) -> None:
     print(format_table("Figure 15b: probing overhead", ["pairs", "overhead"], rows))
 
 
+def _bench_compare(args) -> None:
+    import json
+
+    from repro.runner.bench import compare_reports
+
+    old_path, new_path = args.compare
+    with open(old_path, encoding="utf-8") as fh:
+        old = json.load(fh)
+    with open(new_path, encoding="utf-8") as fh:
+        new = json.load(fh)
+    diff = compare_reports(old, new, threshold=args.threshold)
+    rows = [
+        [c["experiment"], c["scheme"], c["seed"],
+         f"{c['old_events_per_sec']:,.0f}" if c["old_events_per_sec"] else "-",
+         f"{c['new_events_per_sec']:,.0f}" if c["new_events_per_sec"] else "-",
+         f"x{c['speedup']:.2f}" if c["speedup"] is not None else "-",
+         f"{c['old_wall_s']:.2f} -> {c['new_wall_s']:.2f}"]
+        for c in diff["cells"]
+    ]
+    print(format_table(
+        f"bench compare: {old_path} -> {new_path}",
+        ["experiment", "scheme", "seed", "old ev/s", "new ev/s",
+         "speedup", "wall (s)"], rows))
+    print(f"\nmatched: {diff['n_matched']}   "
+          f"old-only: {diff['n_old_only']}   new-only: {diff['n_new_only']}")
+    print(f"speedup: worst x{diff['worst_speedup']}, "
+          f"geomean x{diff['geomean_speedup']}, best x{diff['best_speedup']}")
+    if args.threshold is not None:
+        verdict = "PASS" if diff["passed"] else "FAIL"
+        print(f"threshold: worst >= x{args.threshold}  ->  {verdict}")
+    if not diff["passed"] or not diff["n_matched"]:
+        raise SystemExit(1)
+
+
 def _bench(args) -> None:
     from repro.runner.bench import run_bench
+
+    if args.compare:
+        _bench_compare(args)
+        return
 
     report = run_bench(
         grid=args.grid,
@@ -338,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--profile", action="store_true",
                    help="attach the obs event-loop profiler to every cell "
                         "(distinct cache keys from unprofiled runs)")
+    b.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+                   help="diff two BENCH_*.json reports (events/sec and "
+                        "per-job wall time) instead of running a grid")
+    b.add_argument("--threshold", type=float, default=None,
+                   help="with --compare: fail (exit 1) if the worst "
+                        "matched cell's events/sec speedup is below this")
     _add_runner_options(b)
 
     t = sub.add_parser(

@@ -44,7 +44,7 @@ import dataclasses
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Series  # noqa: F401
-from repro.obs.profile import SimProfiler, merged_summary
+from repro.obs.profile import SimProfiler, merged_solver_stats, merged_summary
 from repro.obs.trace import DEFAULT_CAPACITY, Trace
 
 
@@ -90,6 +90,8 @@ class Capture:
             out["metrics"] = obs.metrics.dump()
         if self.config.profile:
             out["profile"] = merged_summary(obs.profilers)
+            if obs.solver_stats:
+                out["profile"]["solver"] = merged_solver_stats(obs.solver_stats)
         return out
 
     def finalize(self) -> None:
@@ -110,6 +112,7 @@ class Observer:
         self.metrics = MetricsRegistry()
         self.trace = Trace(0)  # inert until a capture begins
         self.profilers: List[SimProfiler] = []
+        self.solver_stats: List[Any] = []
 
     def new_sim_profiler(self) -> Optional[SimProfiler]:
         """Profiler for a new Simulator, or None when profiling is off."""
@@ -118,6 +121,16 @@ class Observer:
         profiler = SimProfiler(self.config.profile_sample_every)
         self.profilers.append(profiler)
         return profiler
+
+    def register_solver(self, stats: Any) -> None:
+        """Track a FluidSolver's stats for the active profile capture.
+
+        Solvers call this from ``__init__`` (mirroring
+        :meth:`new_sim_profiler`); outside a profiling capture it is a
+        no-op, so plain runs keep solver stats strictly solver-local.
+        """
+        if self.enabled and self.config.profile:
+            self.solver_stats.append(stats)
 
     @contextlib.contextmanager
     def capture(self, config: Optional[Mapping[str, Any]] = None):
@@ -135,6 +148,7 @@ class Observer:
         self.config = cfg
         self.trace = Trace(cfg.trace_capacity if cfg.trace else 0)
         self.profilers = []
+        self.solver_stats = []
         self.metrics.reset()
         self.enabled = True
         cap = Capture(self, cfg)
@@ -145,6 +159,7 @@ class Observer:
             cap.finalize()
             self.trace = Trace(0)
             self.profilers = []
+            self.solver_stats = []
             self.config = ObsConfig()
 
 

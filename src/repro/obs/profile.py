@@ -32,6 +32,8 @@ class SimProfiler:
         self.events = 0
         self.max_heap = 0
         self.runs = 0
+        self.compactions = 0
+        self.compacted_events = 0
         self._run_t0 = 0.0
         self._run_now0 = 0.0
 
@@ -55,6 +57,8 @@ class SimProfiler:
         self.wall_s += time.perf_counter() - self._run_t0
         self.sim_s += sim.now - self._run_now0
         self.events = sim.events_processed
+        self.compactions = sim.compactions
+        self.compacted_events = sim.compacted_events
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
@@ -67,6 +71,8 @@ class SimProfiler:
             "events_per_sec": round(self.events / self.wall_s, 1) if self.wall_s > 0 else None,
             "wall_per_sim_s": round(self.wall_s / self.sim_s, 6) if self.sim_s > 0 else None,
             "max_heap": self.max_heap,
+            "compactions": self.compactions,
+            "compacted_events": self.compacted_events,
             "n_samples": len(self.samples),
             "sample_drops": self.sample_drops,
         }
@@ -90,5 +96,29 @@ def merged_summary(profilers: List[SimProfiler]) -> Dict[str, Any]:
         "events_per_sec": round(events / wall, 1) if wall > 0 else None,
         "wall_per_sim_s": round(wall / sim_s, 6) if sim_s > 0 else None,
         "max_heap": max((p.max_heap for p in profilers), default=0),
+        "compactions": sum(p.compactions for p in profilers),
+        "compacted_events": sum(p.compacted_events for p in profilers),
         "sims": [p.summary() for p in profilers],
+    }
+
+
+def merged_solver_stats(stats: List[Any]) -> Dict[str, Any]:
+    """Combine per-FluidSolver counters into one capture-level digest.
+
+    ``stats`` entries are :class:`repro.sim.fluid.SolverStats` objects
+    registered via :meth:`repro.obs.Observer.register_solver`; kept duck-
+    typed here so ``repro.obs`` never imports the simulator.
+    """
+    full = sum(s.full_solves for s in stats)
+    incremental = sum(s.incremental_solves for s in stats)
+    component_flows = sum(s.component_flows for s in stats)
+    return {
+        "n_solvers": len(stats),
+        "solves": full + incremental,
+        "full_solves": full,
+        "incremental_solves": incremental,
+        "mean_component_flows":
+            round(component_flows / incremental, 3) if incremental else 0.0,
+        "iterations": sum(s.iterations for s in stats),
+        "skipped_resolves": sum(s.skipped_resolves for s in stats),
     }

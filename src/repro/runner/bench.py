@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -183,3 +184,83 @@ def run_bench(
             fh.write("\n")
         report["out"] = out
     return report
+
+
+def _job_key(entry: Dict[str, Any]) -> str:
+    """Stable identity of a bench row across reports.
+
+    The cache key (``key``) changes with the code version; compare runs
+    by (experiment, scheme, seed, params) instead.
+    """
+    return json.dumps(
+        [entry.get("experiment"), entry.get("scheme"), entry.get("seed"),
+         entry.get("params", {})],
+        sort_keys=True)
+
+
+def compare_reports(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Diff two bench reports (as loaded from ``BENCH_*.json``).
+
+    Jobs are matched on (experiment, scheme, seed, params).  Each match
+    gets the events/sec and wall-time ratio ``new / old``; the summary
+    carries the worst (minimum) speedup across matched cells, so a
+    regression anywhere drives the verdict.
+
+    ``threshold`` is the minimum acceptable worst-cell events/sec
+    speedup: ``passed`` is False when any matched cell falls below it
+    (use ~0.8-0.9 in CI to catch regressions while tolerating noise; a
+    perf PR proving a win sets it above 1).  Events/sec is not
+    comparable across machines — compare reports from the same host.
+    """
+    old_rows = {_job_key(r): r for r in old.get("results", []) if r.get("ok")}
+    new_rows = {_job_key(r): r for r in new.get("results", []) if r.get("ok")}
+    matched = []
+    for key, nrow in new_rows.items():
+        orow = old_rows.get(key)
+        if orow is None:
+            continue
+        entry: Dict[str, Any] = {
+            "experiment": nrow.get("experiment"),
+            "scheme": nrow.get("scheme"),
+            "seed": nrow.get("seed"),
+            "params": nrow.get("params", {}),
+            "old_events_per_sec": orow.get("events_per_sec"),
+            "new_events_per_sec": nrow.get("events_per_sec"),
+            "old_wall_s": orow.get("wall_s"),
+            "new_wall_s": nrow.get("wall_s"),
+        }
+        o_eps, n_eps = orow.get("events_per_sec"), nrow.get("events_per_sec")
+        entry["speedup"] = (
+            round(n_eps / o_eps, 4) if o_eps and n_eps else None)
+        o_w, n_w = orow.get("wall_s"), nrow.get("wall_s")
+        entry["wall_ratio"] = round(n_w / o_w, 4) if o_w and n_w else None
+        matched.append(entry)
+    matched.sort(key=lambda e: (e["experiment"] or "", e["scheme"] or "",
+                                str(e["seed"]), _job_key(e)))
+    speedups = [e["speedup"] for e in matched if e["speedup"] is not None]
+    worst = min(speedups) if speedups else None
+    best = max(speedups) if speedups else None
+    geomean = None
+    if speedups:
+        log_sum = sum(math.log(s) for s in speedups)
+        geomean = round(math.exp(log_sum / len(speedups)), 4)
+    passed = True
+    if threshold is not None:
+        passed = worst is not None and worst >= threshold
+    return {
+        "n_matched": len(matched),
+        "n_old_only": len(set(old_rows) - set(new_rows)),
+        "n_new_only": len(set(new_rows) - set(old_rows)),
+        "worst_speedup": worst,
+        "best_speedup": best,
+        "geomean_speedup": geomean,
+        "old_total_wall_s": old.get("total_wall_s"),
+        "new_total_wall_s": new.get("total_wall_s"),
+        "threshold": threshold,
+        "passed": passed,
+        "cells": matched,
+    }

@@ -1,12 +1,23 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event loop: events are ``(time, sequence, callback)``
-triples in a binary heap.  The sequence number makes ordering total and
+A minimal, fast event loop: the heap holds ``(time, seq, Event)``
+triples so ordering comparisons run as C tuple compares rather than
+Python ``__lt__`` calls.  The sequence number makes ordering total and
 deterministic for simultaneous events, which matters for reproducible
 convergence traces.  (The engine is simulation substrate, not a paper
 mechanism — the hardware→simulation mapping lives in ``DESIGN.md``; the
 event cadence it drives is the per-RTT control loop of sections
 3.3-3.5.)
+
+Heap compaction: cancelled events stay heaped until popped, which lets
+:meth:`Event.cancel` run in O(1) — but a workload that schedules and
+cancels aggressively (probe timeouts are cancelled on every echo) can
+leave the heap dominated by corpses.  When cancelled entries outnumber
+live ones beyond ``COMPACT_RATIO``, the heap is rebuilt in place without
+them (:meth:`Simulator._compact`), preserving the (time, seq) order and
+:meth:`Simulator.pending`.  Counters: ``Simulator.compactions`` /
+``compacted_events`` (always on) and the ``engine.heap_compactions``
+obs metric.
 
 Profiling: when an observation capture with ``profile: true`` is active
 (see :mod:`repro.obs`), each Simulator attaches a
@@ -21,9 +32,19 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.obs import OBS
+
+_M_COMPACTIONS = OBS.metrics.counter(
+    "engine.heap_compactions", unit="compactions",
+    site="repro/sim/engine.py:Simulator._compact",
+    desc="Event-heap rebuilds that dropped accumulated cancelled entries.")
+
+# Compact when cancelled heap entries exceed COMPACT_RATIO x live ones
+# (and the heap is big enough for the rebuild to matter).
+COMPACT_RATIO = 2
+COMPACT_MIN_CANCELLED = 64
 
 
 class Event:
@@ -51,7 +72,7 @@ class Event:
         if not self.cancelled:
             self.cancelled = True
             if self._sim is not None:
-                self._sim._live -= 1
+                self._sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -66,21 +87,33 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._live = 0
+        self._cancelled = 0
         self._running = False
         self.events_processed = 0
+        self.compactions = 0
+        self.compacted_events = 0
         # Wall-clock seconds spent inside run() (all calls), and the
         # event-loop profiler (None unless an obs capture asks for one).
         self.wall_s = 0.0
         self.profiler = OBS.new_sim_profiler()
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        Body duplicates :meth:`at` rather than delegating — this is the
+        per-event hot path, and the extra frame is measurable.
+        """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.at(self.now + delay, fn, *args)
+        time = self.now + delay
+        self._seq += 1
+        ev = Event(time, self._seq, fn, args, self)
+        heapq.heappush(self._heap, (time, self._seq, ev))
+        self._live += 1
+        return ev
 
     def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
@@ -88,9 +121,34 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
         ev = Event(time, self._seq, fn, args, self)
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, self._seq, ev))
         self._live += 1
         return ev
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping and heap compaction
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._cancelled += 1
+        if (self._cancelled > COMPACT_RATIO * self._live
+                and self._cancelled > COMPACT_MIN_CANCELLED):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap in place, dropping cancelled entries.
+
+        In-place (slice assignment) so a loop that grabbed a local
+        reference to ``self._heap`` keeps seeing the compacted heap.
+        """
+        before = len(self._heap)
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self.compactions += 1
+        self.compacted_events += before - len(self._heap)
+        self._cancelled = 0
+        if OBS.enabled:
+            _M_COMPACTIONS.inc()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events in order until the horizon, event budget, or empty heap.
@@ -99,11 +157,13 @@ class Simulator:
         even if the last event fires earlier, so lazily-integrated state
         (link queues) can be synced at the horizon.
 
-        The loop exists twice: the plain variant below is the disabled-
-        mode hot path and must stay free of profiling work; the variant
-        in :meth:`_run_profiled` additionally samples the
-        :class:`~repro.obs.profile.SimProfiler` every ``sample_every``
-        events.  Keep their semantics identical when editing either.
+        The loop exists twice: :meth:`_run_plain` is the disabled-mode
+        hot path and must stay free of profiling work; :meth:`_run_profiled`
+        additionally samples the :class:`~repro.obs.profile.SimProfiler`
+        every ``sample_every`` events.  Their semantics must stay
+        identical: every profiling statement carries a ``# profiled-only``
+        marker and ``tests/test_engine.py::test_run_loops_have_identical_semantics``
+        asserts the loops match line for line once those are stripped.
         """
         profiler = self.profiler
         start = time.perf_counter()
@@ -111,51 +171,61 @@ class Simulator:
             profiler.begin(self)
             self._run_profiled(until, max_events, profiler)
         else:
-            self._running = True
-            processed = 0
-            heap = self._heap
-            while heap and self._running:
-                ev = heap[0]
-                if until is not None and ev.time > until:
-                    break
-                heapq.heappop(heap)
-                if ev.cancelled:
-                    continue
-                self._live -= 1
-                self.now = ev.time
-                ev.fn(*ev.args)
-                self.events_processed += 1
-                processed += 1
-                if max_events is not None and processed >= max_events:
-                    break
-            self._running = False
+            self._run_plain(until, max_events)
         if until is not None and self.now < until:
             self.now = until
         self.wall_s += time.perf_counter() - start
         if profiler is not None:
             profiler.end(self)
 
-    def _run_profiled(self, until: Optional[float], max_events: Optional[int],
-                      profiler) -> None:
-        """The run() loop plus periodic profiler sampling."""
+    def _run_plain(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """The run() loop without instrumentation (disabled-mode hot path)."""
         self._running = True
         processed = 0
         heap = self._heap
-        sample_every = profiler.sample_every
+        pop = heapq.heappop
         while heap and self._running:
-            ev = heap[0]
-            if until is not None and ev.time > until:
+            entry = heap[0]
+            if until is not None and entry[0] > until:
                 break
-            heapq.heappop(heap)
+            pop(heap)
+            ev = entry[2]
             if ev.cancelled:
+                self._cancelled -= 1
                 continue
             self._live -= 1
-            self.now = ev.time
+            self.now = entry[0]
             ev.fn(*ev.args)
             self.events_processed += 1
             processed += 1
-            if processed % sample_every == 0:
-                profiler.tick(self, len(heap))
+            if max_events is not None and processed >= max_events:
+                break
+        self._running = False
+
+    def _run_profiled(self, until: Optional[float], max_events: Optional[int],
+                      profiler) -> None:
+        """The run() loop plus periodic profiler sampling."""
+        sample_every = profiler.sample_every  # profiled-only
+        self._running = True
+        processed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and self._running:
+            entry = heap[0]
+            if until is not None and entry[0] > until:
+                break
+            pop(heap)
+            ev = entry[2]
+            if ev.cancelled:
+                self._cancelled -= 1
+                continue
+            self._live -= 1
+            self.now = entry[0]
+            ev.fn(*ev.args)
+            self.events_processed += 1
+            processed += 1
+            if processed % sample_every == 0:  # profiled-only
+                profiler.tick(self, len(heap))  # profiled-only
             if max_events is not None and processed >= max_events:
                 break
         self._running = False
@@ -168,6 +238,7 @@ class Simulator:
         """Number of live (non-cancelled) events still queued.
 
         O(1): a counter maintained on schedule/cancel/pop rather than a
-        scan of the heap (cancelled entries stay heaped until popped).
+        scan of the heap (cancelled entries stay heaped until popped or
+        compacted away).
         """
         return self._live

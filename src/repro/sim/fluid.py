@@ -1,4 +1,4 @@
-"""Network-wide fluid throughput solver.
+"""Network-wide fluid throughput solver — incremental and allocation-free.
 
 Each registered flow has a *sending rate* chosen by its transport scheme
 and a directed path of links.  The solver computes the per-link inflow
@@ -9,19 +9,92 @@ inflow exceeds its capacity, every flow through it is scaled by
 This is a standard fixed point; we iterate from unit scales and stop at
 convergence.  Because a flow's rate can only shrink hop by hop, the
 iteration converges within (max hop count + 1) rounds in practice.
+
+Hot-path layout
+---------------
+
+Flows and links are interned to dense integer ids: paths are tuples of
+link indices, and per-link inflow/scale live in preallocated float lists
+(no per-iteration dict).  Mutations (:meth:`set_rate`, :meth:`set_path`,
+:meth:`add_flow`, :meth:`remove_flow`) record *dirty* flows; a solve
+flood-fills the flow-link bipartite graph from the dirty seeds and
+re-runs the fixed point only on that connected component, leaving the
+delivered rates and inflows of untouched components intact.  Components
+are iterated in flow-registration order, so an incremental solve
+produces bit-identical results to a from-scratch full solve (the same
+floating-point accumulation order, restricted to the component).
+
+Exogenous mutations the solver cannot observe — link ``failed`` flags
+flipped by failure injection, capacity changes — must be announced with
+:meth:`invalidate`, which forces the next solve to cover every flow.
+``Network.fail_node`` / ``recover_node`` / ``fail_link`` do this.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+import operator
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import OBS
 from repro.sim.link import Link
+
+_M_FULL = OBS.metrics.counter(
+    "solver.full_solves", unit="solves", site="repro/sim/fluid.py:FluidSolver._solve",
+    desc="Fixed-point solves covering every registered flow (first solve, "
+         "topology/failure invalidations).")
+_M_INCR = OBS.metrics.counter(
+    "solver.incremental_solves", unit="solves",
+    site="repro/sim/fluid.py:FluidSolver._solve",
+    desc="Component-scoped solves: only flows reachable from dirty flows "
+         "through shared links were recomputed.")
+_M_COMP = OBS.metrics.counter(
+    "solver.component_flows", unit="flows",
+    site="repro/sim/fluid.py:FluidSolver._solve",
+    desc="Total flows across incremental-solve components (divide by "
+         "solver.incremental_solves for the mean component size).")
+
+
+_BY_ORDER = operator.attrgetter("order")
+
+
+class SolverStats:
+    """Always-on counters for one :class:`FluidSolver` (cheap, per solve)."""
+
+    __slots__ = ("full_solves", "incremental_solves", "component_flows",
+                 "iterations", "skipped_resolves")
+
+    def __init__(self) -> None:
+        self.full_solves = 0
+        self.incremental_solves = 0
+        self.component_flows = 0
+        self.iterations = 0
+        self.skipped_resolves = 0
+
+    @property
+    def solves(self) -> int:
+        return self.full_solves + self.incremental_solves
+
+    def mean_component_flows(self) -> float:
+        if self.incremental_solves == 0:
+            return 0.0
+        return self.component_flows / self.incremental_solves
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "solves": self.solves,
+            "full_solves": self.full_solves,
+            "incremental_solves": self.incremental_solves,
+            "mean_component_flows": round(self.mean_component_flows(), 3),
+            "iterations": self.iterations,
+            "skipped_resolves": self.skipped_resolves,
+        }
 
 
 class FlowEntry:
     """Solver-side record of one fluid flow."""
 
-    __slots__ = ("flow_id", "path", "send_rate", "delivered_rate")
+    __slots__ = ("flow_id", "path", "send_rate", "delivered_rate",
+                 "index", "link_ids", "order")
 
     def __init__(self, flow_id: str, path: Sequence[Link], send_rate: float = 0.0):
         if not path:
@@ -30,6 +103,9 @@ class FlowEntry:
         self.path = tuple(path)
         self.send_rate = float(send_rate)
         self.delivered_rate = 0.0
+        self.index = -1
+        self.link_ids: Tuple[int, ...] = ()
+        self.order = 0
 
 
 class FluidSolver:
@@ -39,7 +115,58 @@ class FluidSolver:
         self.flows: Dict[str, FlowEntry] = {}
         self.tolerance = tolerance
         self.max_iterations = max_iterations
-        self._dirty = True
+        # Relative change in a delivered rate below which the flow is not
+        # reported as moved (listener notification gate).
+        self.notify_epsilon = 1e-9
+        self.stats = SolverStats()
+        OBS.register_solver(self.stats)
+        # Link interning: dense parallel arrays indexed by link id.
+        self._links: List[Link] = []
+        self._link_ids: Dict[Link, int] = {}
+        self._inflow: List[float] = []    # last computed inflow (raw)
+        self._pushed: List[float] = []    # last inflow handed to Link.set_inflow
+        self._scale: List[float] = []     # proportional-throttle scale
+        self._acc: List[float] = []       # per-iteration accumulator (scratch)
+        self._link_flows: List[Set[int]] = []  # link id -> flow indices through it
+        # Flow interning: dense entries with index recycling.
+        self._entries: List[Optional[FlowEntry]] = []
+        self._free: List[int] = []
+        self._order_seq = 0
+        # Dirty state.
+        self._full = True                 # next solve covers everything
+        self._dirty_flows: Set[int] = set()
+        self._dirty_links: Set[int] = set()
+        # Cached connected-component partition of the flow-link graph.
+        # Valid between membership changes (add/remove/set_path), so the
+        # steady-state rate-update path skips the flood fill entirely.
+        self._partition_valid = False
+        self._flow_comp: List[int] = []   # flow index -> component id
+        self._link_comp: List[int] = []   # link id -> component id (-1: no flows)
+        self._comp_flows: List[List[FlowEntry]] = []  # sorted by registration
+        self._comp_links: List[List[int]] = []
+        # Results pending consumption by apply()/changed-rate listeners.
+        self._changed_links: Set[int] = set()
+        self._changed_flows: Set[int] = set()
+        self._forced_notify: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def _intern_link(self, link: Link) -> int:
+        lid = self._link_ids.get(link)
+        if lid is None:
+            lid = len(self._links)
+            self._link_ids[link] = lid
+            self._links.append(link)
+            self._inflow.append(0.0)
+            self._pushed.append(0.0)
+            self._scale.append(1.0)
+            self._acc.append(0.0)
+            self._link_flows.append(set())
+        return lid
+
+    def _intern_path(self, path: Sequence[Link]) -> Tuple[int, ...]:
+        return tuple(self._intern_link(link) for link in path)
 
     # ------------------------------------------------------------------
     # Flow registry
@@ -47,67 +174,296 @@ class FluidSolver:
     def add_flow(self, flow_id: str, path: Sequence[Link], send_rate: float = 0.0) -> None:
         if flow_id in self.flows:
             raise ValueError(f"duplicate flow {flow_id!r}")
-        self.flows[flow_id] = FlowEntry(flow_id, path, send_rate)
-        self._dirty = True
+        entry = FlowEntry(flow_id, path, send_rate)
+        if self._free:
+            index = self._free.pop()
+            self._entries[index] = entry
+        else:
+            index = len(self._entries)
+            self._entries.append(entry)
+        entry.index = index
+        self._order_seq += 1
+        entry.order = self._order_seq
+        entry.link_ids = self._intern_path(entry.path)
+        for lid in entry.link_ids:
+            self._link_flows[lid].add(index)
+        self.flows[flow_id] = entry
+        self._dirty_flows.add(index)
+        self._forced_notify.add(index)
+        self._partition_valid = False
 
     def remove_flow(self, flow_id: str) -> None:
-        del self.flows[flow_id]
-        self._dirty = True
+        entry = self.flows.pop(flow_id)
+        index = entry.index
+        for lid in entry.link_ids:
+            self._link_flows[lid].discard(index)
+            # Surviving flows on these links gain headroom: re-solve them.
+            self._dirty_links.add(lid)
+        self._entries[index] = None
+        self._free.append(index)
+        self._dirty_flows.discard(index)
+        self._changed_flows.discard(index)
+        self._forced_notify.discard(index)
+        self._partition_valid = False
 
     def set_rate(self, flow_id: str, rate: float) -> None:
         entry = self.flows[flow_id]
         new = max(0.0, float(rate))
         if new != entry.send_rate:
             entry.send_rate = new
-            self._dirty = True
+            self._dirty_flows.add(entry.index)
 
     def set_path(self, flow_id: str, path: Sequence[Link]) -> None:
         entry = self.flows[flow_id]
-        self.flows[flow_id] = FlowEntry(flow_id, path, entry.send_rate)
-        self._dirty = True
+        if not path:
+            raise ValueError(f"flow {flow_id!r} has an empty path")
+        index = entry.index
+        for lid in entry.link_ids:
+            self._link_flows[lid].discard(index)
+            # The vacated links' remaining flows get the freed share.
+            self._dirty_links.add(lid)
+        entry.path = tuple(path)
+        entry.link_ids = self._intern_path(entry.path)
+        for lid in entry.link_ids:
+            self._link_flows[lid].add(index)
+        self._dirty_flows.add(index)
+        self._partition_valid = False
 
     def delivered_rate(self, flow_id: str) -> float:
         return self.flows[flow_id].delivered_rate
 
+    def mark_changed(self, flow_id: str) -> None:
+        """Force the flow into the next changed-rates report (new listener)."""
+        entry = self.flows.get(flow_id)
+        if entry is not None:
+            self._forced_notify.add(entry.index)
+
+    def invalidate(self) -> None:
+        """Exogenous mutation (link failure/capacity): next solve is full."""
+        self._full = True
+
     @property
     def dirty(self) -> bool:
-        return self._dirty
+        return self._full or bool(self._dirty_flows) or bool(self._dirty_links)
 
     # ------------------------------------------------------------------
     # Fixed point
     # ------------------------------------------------------------------
-    def solve(self) -> Dict[Link, float]:
-        """Return per-link inflow (bits/s) and update delivered rates."""
-        scales: Dict[Link, float] = {}
-        flows = list(self.flows.values())
-        inflows: Dict[Link, float] = {}
+    def _build_partition(self) -> None:
+        """Flood-fill the whole flow-link bipartite graph into components.
+
+        Rebuilt lazily after membership changes (add/remove/``set_path``);
+        between them — the steady state of a sweep, where only rates
+        move — a solve looks its dirty flows' components up in O(dirty).
+        """
+        entries = self._entries
+        link_flows = self._link_flows
+        flow_comp = [-1] * len(entries)
+        link_comp = [-1] * len(self._links)
+        comp_flows: List[List[FlowEntry]] = []
+        comp_links: List[List[int]] = []
+        for seed in self.flows.values():
+            if flow_comp[seed.index] >= 0:
+                continue
+            cid = len(comp_flows)
+            members: List[FlowEntry] = []
+            links: List[int] = []
+            flow_comp[seed.index] = cid
+            stack = [seed.index]
+            while stack:
+                entry = entries[stack.pop()]
+                members.append(entry)
+                for lid in entry.link_ids:
+                    if link_comp[lid] < 0:
+                        link_comp[lid] = cid
+                        links.append(lid)
+                        for fidx in link_flows[lid]:
+                            if flow_comp[fidx] < 0:
+                                flow_comp[fidx] = cid
+                                stack.append(fidx)
+            members.sort(key=_BY_ORDER)  # registration order = full-solve order
+            comp_flows.append(members)
+            comp_links.append(links)
+        self._flow_comp = flow_comp
+        self._link_comp = link_comp
+        self._comp_flows = comp_flows
+        self._comp_links = comp_links
+        self._partition_valid = True
+
+    def _component(self) -> Tuple[List[FlowEntry], List[int]]:
+        """Flows and links that must re-solve for the current dirty set.
+
+        The union of the dirty flows' (and dirty links') cached
+        components.  Link ids come back unordered: every per-link step of
+        the fixed point (reset, accumulate, rescale, convergence max) is
+        independent across links, so only the *flow* order matters for
+        bit-reproducibility — component flow lists are pre-sorted by
+        registration order, matching a full solve's dict order.
+        """
+        if not self._partition_valid:
+            self._build_partition()
+        comp_ids: Set[int] = set()
+        flow_comp = self._flow_comp
+        for fidx in self._dirty_flows:
+            comp_ids.add(flow_comp[fidx])
+        # Dirty links with no remaining flows (their last flow was removed
+        # or migrated away) still need their inflow re-derived to zero.
+        orphan_links: List[int] = []
+        link_comp = self._link_comp
+        for lid in self._dirty_links:
+            cid = link_comp[lid]
+            if cid >= 0:
+                comp_ids.add(cid)
+            else:
+                orphan_links.append(lid)
+        if len(comp_ids) == 1:
+            cid = comp_ids.pop()
+            flows = self._comp_flows[cid]
+            link_ids = self._comp_links[cid]
+            if orphan_links:
+                link_ids = link_ids + orphan_links
+            return flows, link_ids
+        flows = []
+        link_ids = list(orphan_links)
+        for cid in comp_ids:
+            flows.extend(self._comp_flows[cid])
+            link_ids.extend(self._comp_links[cid])
+        flows.sort(key=_BY_ORDER)
+        return flows, link_ids
+
+    def _fixed_point(self, flows: List[FlowEntry], link_ids: List[int]) -> None:
+        """Run the proportional-throttle fixed point on one component.
+
+        ``flows`` must be every flow that traverses any link in
+        ``link_ids`` (the flood-filled closure guarantees this), so the
+        accumulated inflows are exact, not partial.
+        """
+        acc = self._acc
+        scale = self._scale
+        links = self._links
+        tolerance = self.tolerance
+        for lid in link_ids:
+            scale[lid] = 1.0
+        iterations = 0
         for _ in range(self.max_iterations):
-            inflows = {}
-            for flow in flows:
-                rate = flow.send_rate
-                for link in flow.path:
-                    inflows[link] = inflows.get(link, 0.0) + rate
-                    rate *= scales.get(link, 1.0)
-                flow.delivered_rate = rate
+            iterations += 1
+            for lid in link_ids:
+                acc[lid] = 0.0
+            for entry in flows:
+                rate = entry.send_rate
+                for lid in entry.link_ids:
+                    acc[lid] += rate
+                    rate *= scale[lid]
+                entry.delivered_rate = rate
             worst = 0.0
-            for link, inflow in inflows.items():
+            for lid in link_ids:
+                link = links[lid]
+                inflow = acc[lid]
                 if link.failed:
                     new_scale = 0.0
                 elif inflow <= link.capacity:
                     new_scale = 1.0
                 else:
                     new_scale = link.capacity / inflow
-                worst = max(worst, abs(new_scale - scales.get(link, 1.0)))
-                scales[link] = new_scale
-            if worst <= self.tolerance:
+                delta = new_scale - scale[lid]
+                if delta < 0.0:
+                    delta = -delta
+                if delta > worst:
+                    worst = delta
+                scale[lid] = new_scale
+            if worst <= tolerance:
                 break
-        self._dirty = False
-        return inflows
+        self.stats.iterations += iterations
 
-    def apply(self, now: float, all_links: Iterable[Link]) -> None:
-        """Solve and push inflow updates into the link queue models."""
-        inflows = self.solve()
-        for link in all_links:
+    def _solve(self) -> None:
+        """Advance the solver to a converged state for the current inputs."""
+        if self._full:
+            flows = list(self.flows.values())
+            link_ids = list(range(len(self._links)))
+            self.stats.full_solves += 1
+            if OBS.enabled:
+                _M_FULL.inc()
+        elif self._dirty_flows or self._dirty_links:
+            flows, link_ids = self._component()
+            self.stats.incremental_solves += 1
+            self.stats.component_flows += len(flows)
+            if OBS.enabled:
+                _M_INCR.inc()
+                _M_COMP.inc(len(flows))
+        else:
+            self.stats.skipped_resolves += 1
+            return
+        old_rates = [entry.delivered_rate for entry in flows]
+        self._fixed_point(flows, link_ids)
+        inflow = self._inflow
+        acc = self._acc
+        changed_links = self._changed_links
+        for lid in link_ids:
+            if acc[lid] != inflow[lid]:
+                inflow[lid] = acc[lid]
+                changed_links.add(lid)
+            elif self._links[lid].failed or inflow[lid] != self._pushed[lid]:
+                # Effective (pushed) inflow may differ even when the raw
+                # inflow is unchanged — e.g. a link that just failed.
+                changed_links.add(lid)
+        eps = self.notify_epsilon
+        changed_flows = self._changed_flows
+        for entry, old in zip(flows, old_rates):
+            new = entry.delivered_rate
+            delta = new - old
+            if delta < 0.0:
+                delta = -delta
+            bound = old if old >= new else new
+            if delta > eps * bound:
+                changed_flows.add(entry.index)
+        self._full = False
+        self._dirty_flows.clear()
+        self._dirty_links.clear()
+
+    def solve(self) -> Dict[Link, float]:
+        """Return per-link inflow (bits/s) and update delivered rates.
+
+        Incremental: only the dirty component is recomputed.  The mapping
+        covers every link any flow has ever traversed (stale links report
+        their current inflow, usually ``0.0``).
+        """
+        self._solve()
+        return {link: self._inflow[lid] for lid, link in enumerate(self._links)}
+
+    def apply(self, now: float, all_links: Iterable[Link]) -> List[str]:
+        """Solve, push changed inflows into the link queue models.
+
+        Returns the ids of flows whose delivered rate moved (beyond
+        ``notify_epsilon``, plus any flagged via :meth:`mark_changed`)
+        since the last ``apply``, in flow-registration order.  Links whose
+        effective inflow is unchanged are not touched — their queues
+        integrate lazily from the last set point.  ``all_links`` is only
+        consulted on a full solve, to zero links outside the interned set
+        (e.g. after every flow on them was removed before the first push).
+        """
+        was_full = self._full
+        self._solve()
+        inflow = self._inflow
+        pushed = self._pushed
+        links = self._links
+        for lid in self._changed_links:
+            link = links[lid]
             # Traffic entering a failed link is blackholed, not queued.
-            inflow = 0.0 if link.failed else inflows.get(link, 0.0)
-            link.set_inflow(now, inflow)
+            effective = 0.0 if link.failed else inflow[lid]
+            if effective != pushed[lid]:
+                link.set_inflow(now, effective)
+                pushed[lid] = effective
+        self._changed_links.clear()
+        if was_full:
+            for link in all_links:
+                if link.inflow and link not in self._link_ids:
+                    link.set_inflow(now, 0.0)
+        if not self._changed_flows and not self._forced_notify:
+            return []
+        entries = self._entries
+        moved = [entries[i] for i in self._changed_flows | self._forced_notify
+                 if entries[i] is not None]
+        moved.sort(key=_BY_ORDER)
+        self._changed_flows.clear()
+        self._forced_notify.clear()
+        return [entry.flow_id for entry in moved]

@@ -78,13 +78,15 @@ class Host:
     def __init__(self, name: str, network: "Network") -> None:
         self.name = name
         self.network = network
-        self.pairs: List[VMPair] = []
+        # Keyed by pair_id so unregistering is O(1) even on hosts that
+        # originate thousands of short-lived pairs (fig16 dynamics).
+        self.pairs: Dict[str, VMPair] = {}
         self.edge_agent = None  # set by the scheme installer
 
     def originate(self, pair: VMPair) -> None:
         if pair.src_host != self.name:
             raise ValueError(f"{pair.pair_id} does not originate at {self.name}")
-        self.pairs.append(pair)
+        self.pairs[pair.pair_id] = pair
 
     def local_pairs(self) -> List[VMPair]:
-        return list(self.pairs)
+        return list(self.pairs.values())

@@ -78,13 +78,20 @@ class Link:
     # Queue evolution
     # ------------------------------------------------------------------
     def sync(self, now: float) -> None:
-        """Integrate queue evolution from the last sync point to ``now``."""
+        """Integrate queue evolution from the last sync point to ``now``.
+
+        The saturated/unsaturated split makes ``served`` directly:
+        ``excess > 0`` implies ``min(inflow, capacity) == capacity`` and
+        vice versa, so the arithmetic is identical to computing
+        ``min(inflow, capacity) * dt`` up front.
+        """
         dt = now - self._last_sync
         if dt <= 0:
             return
-        served = min(self.inflow, self.capacity) * dt
-        excess = (self.inflow - self.capacity) * dt
+        inflow = self.inflow
+        excess = (inflow - self.capacity) * dt
         if excess > 0:
+            served = self.capacity * dt
             self.queue += excess
             if self.max_queue is not None and self.queue > self.max_queue:
                 overflow = self.queue - self.max_queue
@@ -93,11 +100,13 @@ class Link:
                 if OBS.enabled:
                     _M_DROPPED.inc(overflow)
                     OBS.trace.record(now, _EV_DROP, {"link": self.name, "bits": overflow})
-            served = self.capacity * dt
-        elif self.queue > 0:
-            drained = min(self.queue, -excess)
-            self.queue -= drained
-            served += drained
+        else:
+            served = inflow * dt
+            queue = self.queue
+            if queue > 0:
+                drained = queue if queue < -excess else -excess
+                self.queue = queue - drained
+                served += drained
         self.delivered_bits += served
         if self.queue > self.peak_queue:
             self.peak_queue = self.queue
@@ -113,23 +122,34 @@ class Link:
     # ------------------------------------------------------------------
     def tx_rate(self, now: float) -> float:
         """Actual output rate of the port right now (paper's ``tx_l``)."""
-        self.sync(now)
+        if now > self._last_sync:
+            self.sync(now)
         if self.queue > 0:
             return self.capacity
         return min(self.inflow, self.capacity)
 
     def queue_bits(self, now: float) -> float:
         """Real-time queue size in bits (paper's ``q_l``)."""
-        self.sync(now)
+        if now > self._last_sync:
+            self.sync(now)
         return self.queue
 
     def queuing_delay(self, now: float) -> float:
         """Time a packet arriving now waits behind the current queue."""
-        return self.queue_bits(now) / self.capacity
+        if now > self._last_sync:
+            self.sync(now)
+        return self.queue / self.capacity
 
     def delay(self, now: float) -> float:
-        """One-hop traversal delay: propagation plus queuing."""
-        return self.prop_delay + self.queuing_delay(now)
+        """One-hop traversal delay: propagation plus queuing.
+
+        Probe transit calls this once per hop per probe — the hottest
+        read in big sweeps — so the queue/capacity math is inlined here
+        instead of chaining through :meth:`queuing_delay`/:meth:`queue_bits`.
+        """
+        if now > self._last_sync:
+            self.sync(now)
+        return self.prop_delay + self.queue / self.capacity
 
     def utilization(self, now: float) -> float:
         """tx / capacity in [0, 1]."""
@@ -137,3 +157,19 @@ class Link:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.name}, C={self.capacity / 1e9:.1f}Gbps, q={self.queue / 8e3:.1f}KB)"
+
+
+def path_delay(path, now: float) -> float:
+    """Instantaneous one-way delay along ``path`` (prop + queuing).
+
+    Same arithmetic as ``sum(link.delay(now) for link in path)`` — a
+    left-to-right accumulation from 0.0 — with the per-hop method calls
+    and generator frames flattened out; RTT samplers evaluate this for
+    every pair every few microseconds of simulated time.
+    """
+    total = 0.0
+    for link in path:
+        if now > link._last_sync:
+            link.sync(now)
+        total += link.prop_delay + link.queue / link.capacity
+    return total

@@ -14,6 +14,7 @@ from repro.sim.engine import Event, Simulator
 from repro.sim.fluid import FluidSolver
 from repro.sim.host import Host, VMPair
 from repro.sim.link import Link
+from repro.sim.link import path_delay as _path_delay
 from repro.sim.topology import Path, Topology
 
 
@@ -73,7 +74,12 @@ class Network:
     def unregister_pair(self, pair_id: str) -> None:
         pair = self.pairs.pop(pair_id)
         self.pair_paths.pop(pair_id)
-        self.hosts[pair.src_host].pairs.remove(pair)
+        self.hosts[pair.src_host].pairs.pop(pair_id, None)
+        # Drop per-pair observers too: long dynamic runs (fig16) churn
+        # through thousands of pairs, and dead listeners/series would
+        # otherwise accumulate for the rest of the run.
+        self._rate_listeners.pop(pair_id, None)
+        self.rate_samples.pop(pair_id, None)
         self.solver.remove_flow(pair_id)
         self.request_resolve()
 
@@ -121,12 +127,21 @@ class Network:
         self.sim.schedule(delay, self._do_resolve)
 
     def resolve_now(self) -> None:
-        """Force an immediate re-solve (used at setup and by tests)."""
+        """Force an immediate re-solve (used at setup and by tests).
+
+        ``solver.apply`` returns only the pairs whose delivered rate
+        actually moved (epsilon-gated), so notification cost scales with
+        the affected component rather than with all registered pairs.
+        """
         self._resolve_scheduled = False
         self._last_resolve = self.sim.now
-        self.solver.apply(self.sim.now, self.topology.links.values())
-        for pair_id, listeners in self._rate_listeners.items():
-            if pair_id in self.pairs:
+        changed = self.solver.apply(self.sim.now, self.topology.links.values())
+        listeners_by_pair = self._rate_listeners
+        if not listeners_by_pair:
+            return
+        for pair_id in changed:
+            listeners = listeners_by_pair.get(pair_id)
+            if listeners is not None and pair_id in self.pairs:
                 rate = self.solver.delivered_rate(pair_id)
                 for listener in listeners:
                     listener(rate)
@@ -137,6 +152,9 @@ class Network:
 
     def on_delivered_rate(self, pair_id: str, listener: Callable[[float], None]) -> None:
         self._rate_listeners.setdefault(pair_id, []).append(listener)
+        # A listener attached between resolves must still see the current
+        # rate at the next resolve even if nothing moves by then.
+        self.solver.mark_changed(pair_id)
 
     def attach_message_queue(self, pair: VMPair, **queue_kwargs) -> None:
         """Create a MessageQueue for the pair, drained at its delivered rate.
@@ -214,12 +232,12 @@ class Network:
 
     def path_delay(self, path: Sequence[Link]) -> float:
         """Instantaneous one-way delay along ``path`` (prop + queuing)."""
-        now = self.sim.now
-        return sum(link.delay(now) for link in path)
+        return _path_delay(path, self.sim.now)
 
     def path_rtt(self, path: Sequence[Link]) -> float:
         """Instantaneous round-trip delay (forward queue + reverse queue)."""
-        return self.path_delay(path) + self.path_delay(self.topology.reverse_path(path))
+        now = self.sim.now
+        return _path_delay(path, now) + _path_delay(self.topology.reverse_path(path), now)
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -229,6 +247,9 @@ class Network:
         for link in self.topology.links.values():
             if link.src == name or link.dst == name:
                 link.failed = True
+        # Flipping link.failed changes effective inflows behind the
+        # solver's back; force the next resolve to be a full one.
+        self.solver.invalidate()
         self.request_resolve()
 
     def recover_node(self, name: str) -> None:
@@ -236,30 +257,40 @@ class Network:
         for link in self.topology.links.values():
             if link.src == name or link.dst == name:
                 link.failed = False
+        self.solver.invalidate()
         self.request_resolve()
 
     def fail_link(self, src: str, dst: str) -> None:
         self.topology.link(src, dst).failed = True
+        self.solver.invalidate()
         self.request_resolve()
 
     # ------------------------------------------------------------------
     # Sampling helpers for figures
     # ------------------------------------------------------------------
     def sample_rates(self, pair_ids: Iterable[str], period: float, until: float) -> None:
-        """Record delivered rate of each pair every ``period`` seconds."""
+        """Record delivered rate of each pair every ``period`` seconds.
+
+        Ticks are anchored to the start time (``at(start + k*period)``)
+        rather than re-scheduled ``period`` after each tick fires, so the
+        sampling grid stays exact no matter when the sampler starts or
+        how events interleave.
+        """
         ids = list(pair_ids)
         for pid in ids:
             self.rate_samples.setdefault(pid, [])
+        start = self.sim.now
 
-        def tick() -> None:
+        def tick(k: int) -> None:
             now = self.sim.now
             for pid in ids:
                 if pid in self.pairs:
                     self.rate_samples[pid].append((now, self.solver.delivered_rate(pid)))
-            if now + period <= until:
-                self.sim.schedule(period, tick)
+            next_tick = start + (k + 1) * period
+            if next_tick <= until:
+                self.sim.at(next_tick, tick, k + 1)
 
-        self.sim.schedule(0.0, tick)
+        self.sim.at(start, tick, 0)
 
     def run(self, until: float) -> None:
         self.sim.run(until=until)

@@ -24,6 +24,11 @@ class Topology:
         self.links: Dict[str, Link] = {}
         self._adj: Dict[str, List[Link]] = {}
         self._path_cache: Dict[Tuple[str, str, int], List[Path]] = {}
+        # reverse_path / base_rtt are pure functions of the (static)
+        # link set and get called per control round per pair; memoized,
+        # invalidated alongside _path_cache when a link is added.
+        self._reverse_cache: Dict[Path, Path] = {}
+        self._rtt_cache: Dict[Tuple[Path, float], float] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -56,6 +61,8 @@ class Topology:
         self.links[name] = link
         self._adj[src].append(link)
         self._path_cache.clear()
+        self._reverse_cache.clear()
+        self._rtt_cache.clear()
         return link
 
     def add_duplex(
@@ -89,7 +96,12 @@ class Topology:
 
     def reverse_path(self, path: Sequence[Link]) -> Path:
         """The hop-by-hop reverse of ``path`` (assumes duplex links exist)."""
-        return tuple(self.link(l.dst, l.src) for l in reversed(path))
+        key = path if type(path) is tuple else tuple(path)
+        cached = self._reverse_cache.get(key)
+        if cached is None:
+            cached = tuple(self.link(l.dst, l.src) for l in reversed(key))
+            self._reverse_cache[key] = cached
+        return cached
 
     def shortest_paths(self, src: str, dst: str, limit: int = 64) -> List[Path]:
         """All equal-cost (minimum-hop) directed paths src -> dst.
@@ -140,9 +152,14 @@ class Topology:
 
     def base_rtt(self, path: Sequence[Link], host_delay: float = 0.0) -> float:
         """Round-trip propagation delay over ``path`` and its reverse."""
-        forward = sum(l.prop_delay for l in path)
-        backward = sum(l.prop_delay for l in self.reverse_path(path))
-        return forward + backward + 2 * host_delay
+        key = (path if type(path) is tuple else tuple(path), host_delay)
+        cached = self._rtt_cache.get(key)
+        if cached is None:
+            forward = sum(l.prop_delay for l in key[0])
+            backward = sum(l.prop_delay for l in self.reverse_path(key[0]))
+            cached = forward + backward + 2 * host_delay
+            self._rtt_cache[key] = cached
+        return cached
 
 
 # ----------------------------------------------------------------------

@@ -158,3 +158,89 @@ def test_arbitrary_delays_fire_in_nondecreasing_time(delays):
     sim.run()
     assert len(fired) == len(delays)
     assert fired == sorted(fired)
+
+
+# ----------------------------------------------------------------------
+# Heap compaction
+# ----------------------------------------------------------------------
+
+def test_heap_compaction_preserves_order_and_pending():
+    sim = Simulator()
+    events = []
+    for i in range(500):
+        t = (i + 1) * 1e-3
+        events.append((t, sim.at(t, lambda: None, )))
+    survivors = []
+    fired = []
+    for i, (t, ev) in enumerate(events):
+        if i % 10:
+            ev.cancel()
+        else:
+            survivors.append(t)
+    # 450 of 500 cancelled: well past the 2x-live ratio.
+    assert sim.compactions >= 1
+    assert sim.compacted_events > 0
+    assert sim.pending() == len(survivors)
+    # Re-register callbacks on the surviving times to observe order.
+    for t in survivors:
+        sim.at(t, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == survivors  # strictly increasing schedule times
+    assert sim.pending() == 0
+
+
+def test_compaction_during_run_keeps_loop_heap_reference():
+    sim = Simulator()
+    seen = []
+    evs = [sim.at(1e-3 * (i + 2), seen.append, i) for i in range(300)]
+
+    def cancel_most():
+        for i, ev in enumerate(evs):
+            if i % 50:
+                ev.cancel()
+
+    sim.at(1e-4, cancel_most)
+    sim.run()
+    assert seen == [0, 50, 100, 150, 200, 250]
+    assert sim.compactions >= 1
+    assert sim.pending() == 0
+
+
+def test_no_compaction_below_threshold():
+    sim = Simulator()
+    evs = [sim.schedule((i + 1) * 1e-3, lambda: None) for i in range(50)]
+    for ev in evs[:30]:
+        ev.cancel()
+    assert sim.compactions == 0  # under the 64-cancelled floor
+    sim.run()
+    assert sim.pending() == 0
+
+
+# ----------------------------------------------------------------------
+# Plain/profiled run-loop parity
+# ----------------------------------------------------------------------
+
+def test_run_loops_have_identical_semantics():
+    """The profiled loop is the plain loop plus `# profiled-only` lines.
+
+    Compares the two method bodies at the AST level after stripping the
+    tagged instrumentation lines, so any semantic edit to one loop that
+    is not mirrored in the other fails here.
+    """
+    import ast
+    import inspect
+    import textwrap
+
+    def body_dump(fn):
+        src = textwrap.dedent(inspect.getsource(fn))
+        src = "\n".join(
+            line for line in src.splitlines() if "# profiled-only" not in line
+        )
+        node = ast.parse(src).body[0]
+        body = node.body
+        if (isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)):
+            body = body[1:]  # drop the docstring
+        return [ast.dump(stmt) for stmt in body]
+
+    assert body_dump(Simulator._run_plain) == body_dump(Simulator._run_profiled)

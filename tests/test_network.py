@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.host import VMPair
 from repro.sim.network import Network
-from repro.sim.topology import dumbbell, three_tier_testbed
+from repro.sim.topology import Topology, dumbbell, three_tier_testbed
 
 
 def build(n=2):
@@ -157,4 +157,83 @@ def test_unregister_pair_removes_flow():
     net.register_pair(pair, path)
     net.unregister_pair("p0")
     assert "p0" not in net.pairs
-    assert pair not in net.hosts["src0"].pairs
+    assert "p0" not in net.hosts["src0"].pairs
+    assert pair not in net.hosts["src0"].local_pairs()
+
+
+def test_unregister_pair_drops_listeners_and_samples():
+    net = build()
+    pair = VMPair("p0", "vf0", "src0", "dst0")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.register_pair(pair, path)
+    net.on_delivered_rate("p0", lambda rate: None)
+    net.sample_rates(["p0"], period=1e-3, until=5e-3)
+    net.run(5e-3)
+    assert net.rate_samples["p0"]
+    net.unregister_pair("p0")
+    assert "p0" not in net._rate_listeners
+    assert "p0" not in net.rate_samples
+
+
+def test_sample_rates_grid_is_anchored_to_start():
+    net = build()
+    pair = VMPair("p0", "vf0", "src0", "dst0")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.register_pair(pair, path)
+    net.set_pair_rate("p0", 2e9)
+    start, period, until = 0.5e-3, 1e-3, 10.5e-3
+    net.sim.at(start, net.sample_rates, ["p0"], period, until)
+    net.run(until)
+    times = [t for t, _ in net.rate_samples["p0"]]
+    # Exact multiples of the period from the start instant — no float
+    # drift from re-scheduling relative to the previous tick.
+    assert times == [start + k * period for k in range(len(times))]
+    assert times[-1] + period > until
+
+
+def test_resolve_notifies_only_pairs_whose_rate_moved():
+    # Two disconnected islands: p0/p1 share island 0's bottleneck, p2
+    # rides island 1.  Rate changes on p0 must not call p2's listener.
+    topo = Topology()
+    for i in range(2):
+        topo.add_node(f"L{i}")
+        topo.add_node(f"R{i}")
+        topo.add_duplex(f"L{i}", f"R{i}", 10e9)
+        for j in range(2):
+            topo.add_host(f"s{i}{j}")
+            topo.add_host(f"d{i}{j}")
+            topo.add_duplex(f"s{i}{j}", f"L{i}", 10e9)
+            topo.add_duplex(f"R{i}", f"d{i}{j}", 10e9)
+    net = Network(topo)
+    routes = {"p0": ("s00", "d00"), "p1": ("s01", "d01"), "p2": ("s10", "d10")}
+    for pid, (src, dst) in routes.items():
+        net.register_pair(VMPair(pid, "vf0", src, dst),
+                          net.topology.shortest_paths(src, dst)[0])
+    calls = {pid: [] for pid in routes}
+    for pid in routes:
+        net.on_delivered_rate(pid, calls[pid].append)
+    net.set_pair_rate("p0", 8e9)
+    net.set_pair_rate("p1", 8e9)
+    net.set_pair_rate("p2", 1e9)
+    net.resolve_now()
+    first = {pid: len(calls[pid]) for pid in routes}
+    assert all(n >= 1 for n in first.values())  # everyone saw the initial rate
+    # p2's island is untouched: its listener must stay quiet.
+    net.set_pair_rate("p0", 2e9)
+    net.resolve_now()
+    assert len(calls["p0"]) > first["p0"]
+    assert len(calls["p1"]) > first["p1"]  # shares the bottleneck with p0
+    assert len(calls["p2"]) == first["p2"]
+
+
+def test_listener_attached_between_resolves_fires_once():
+    net = build()
+    pair = VMPair("p0", "vf0", "src0", "dst0")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.register_pair(pair, path)
+    net.set_pair_rate("p0", 2e9)
+    net.resolve_now()
+    seen = []
+    net.on_delivered_rate("p0", seen.append)
+    net.resolve_now()  # nothing moved, but the new listener must sync
+    assert seen == [pytest.approx(2e9)]

@@ -16,6 +16,7 @@ from repro.runner import (
     ResultCache,
     build_grid,
     code_version,
+    compare_reports,
     execute_job,
     run_bench,
 )
@@ -231,3 +232,111 @@ def test_run_bench_smoke_grid_report(tmp_path):
     assert report2["cache"]["hits"] >= 0.9 * report2["n_jobs"]
     assert json.dumps(report2["rows"], sort_keys=True) == \
         json.dumps(report["rows"], sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# bench report comparison (``repro bench --compare``)
+# ----------------------------------------------------------------------
+
+def _report(cells):
+    """Minimal bench report with the fields compare_reports consumes."""
+    return {
+        "total_wall_s": round(sum(c.get("wall_s", 0.0) for c in cells), 6),
+        "results": [
+            {"ok": True, "experiment": "fig11", "params": {}, **c}
+            for c in cells
+        ],
+    }
+
+
+def test_compare_reports_matches_on_identity_not_cache_key():
+    old = _report([
+        {"scheme": "ufab", "seed": 1, "key": "aaa",
+         "events_per_sec": 1000.0, "wall_s": 2.0},
+        {"scheme": "pwc", "seed": 1, "key": "bbb",
+         "events_per_sec": 500.0, "wall_s": 4.0},
+    ])
+    new = _report([
+        {"scheme": "ufab", "seed": 1, "key": "ccc",  # key changed: still matches
+         "events_per_sec": 2000.0, "wall_s": 1.0},
+        {"scheme": "pwc", "seed": 1, "key": "ddd",
+         "events_per_sec": 750.0, "wall_s": 8.0 / 3},
+    ])
+    diff = compare_reports(old, new)
+    assert diff["n_matched"] == 2
+    assert diff["n_old_only"] == 0 and diff["n_new_only"] == 0
+    by_scheme = {c["scheme"]: c for c in diff["cells"]}
+    assert by_scheme["ufab"]["speedup"] == pytest.approx(2.0)
+    assert by_scheme["pwc"]["speedup"] == pytest.approx(1.5)
+    assert by_scheme["ufab"]["wall_ratio"] == pytest.approx(0.5)
+    assert diff["worst_speedup"] == pytest.approx(1.5)
+    assert diff["best_speedup"] == pytest.approx(2.0)
+    assert diff["geomean_speedup"] == pytest.approx((2.0 * 1.5) ** 0.5, rel=1e-3)
+    assert diff["passed"] is True  # no threshold: informational only
+
+
+def test_compare_reports_threshold_gates_on_worst_cell():
+    old = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 1000.0, "wall_s": 1.0},
+        {"scheme": "pwc", "seed": 1, "events_per_sec": 1000.0, "wall_s": 1.0},
+    ])
+    new = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 3000.0, "wall_s": 0.4},
+        {"scheme": "pwc", "seed": 1, "events_per_sec": 900.0, "wall_s": 1.1},
+    ])
+    # Great geomean, but pwc regressed to 0.9x: the worst cell decides.
+    assert compare_reports(old, new, threshold=1.0)["passed"] is False
+    assert compare_reports(old, new, threshold=0.85)["passed"] is True
+
+
+def test_compare_reports_unmatched_and_failed_rows():
+    old = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 1000.0, "wall_s": 1.0},
+        {"scheme": "ufab", "seed": 2, "events_per_sec": 1000.0, "wall_s": 1.0},
+    ])
+    new = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 1200.0, "wall_s": 0.8},
+        {"scheme": "ufab", "seed": 3, "events_per_sec": 1100.0, "wall_s": 0.9},
+    ])
+    new["results"].append({"ok": False, "experiment": "fig11", "params": {},
+                           "scheme": "ufab", "seed": 4, "error": "boom"})
+    diff = compare_reports(old, new)
+    assert diff["n_matched"] == 1  # only (ufab, seed 1) in both
+    assert diff["n_old_only"] == 1 and diff["n_new_only"] == 1
+    assert [c["seed"] for c in diff["cells"]] == [1]
+
+
+def test_compare_reports_empty_match_fails_any_threshold():
+    old = _report([{"scheme": "ufab", "seed": 1,
+                    "events_per_sec": 1000.0, "wall_s": 1.0}])
+    new = _report([{"scheme": "pwc", "seed": 1,
+                    "events_per_sec": 1000.0, "wall_s": 1.0}])
+    diff = compare_reports(old, new, threshold=0.1)
+    assert diff["n_matched"] == 0
+    assert diff["worst_speedup"] is None
+    assert diff["passed"] is False
+
+
+def test_compare_cli_exit_codes(tmp_path):
+    fast = _report([{"scheme": "ufab", "seed": 1,
+                     "events_per_sec": 2000.0, "wall_s": 0.5}])
+    slow = _report([{"scheme": "ufab", "seed": 1,
+                     "events_per_sec": 1000.0, "wall_s": 1.0}])
+    a, b = tmp_path / "old.json", tmp_path / "new.json"
+    a.write_text(json.dumps(slow))
+    b.write_text(json.dumps(fast))
+    env = dict(os.environ)
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+    ok = subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "--compare", str(a), str(b),
+         "--threshold", "1.5"],
+        capture_output=True, text=True, env=env)
+    assert ok.returncode == 0, ok.stdout + ok.stderr
+    assert "PASS" in ok.stdout
+    bad = subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "--compare", str(b), str(a),
+         "--threshold", "1.5"],
+        capture_output=True, text=True, env=env)
+    assert bad.returncode == 1
+    assert "FAIL" in bad.stdout
