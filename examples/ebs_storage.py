@@ -3,20 +3,25 @@
 replication, and Garbage Collection sharing one fabric (Figure 14).
 
 Run:  python examples/ebs_storage.py
+(Set REPRO_EXAMPLE_DURATION to scale the simulated seconds.)
 """
 
+import os
 import random
 
-from repro import Network, UFabParams, make_fabric, three_tier_testbed
+from repro import Scenario, UFabParams
 from repro.analysis import percentile
 from repro.workloads.apps import EbsCluster
 
-DURATION = 0.1
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "0.1"))
 
 
 def run_ebs(scheme: str):
-    net = Network(three_tier_testbed())
-    fabric = make_fabric(scheme, net, UFabParams(n_candidate_paths=8))
+    net, fabric = (
+        Scenario.testbed()
+        .scheme(scheme, params=UFabParams(n_candidate_paths=8))
+        .build(horizon=DURATION)
+    )
     cluster = EbsCluster(
         net, fabric,
         sa_hosts=["S1", "S2", "S3", "S4"],
@@ -37,6 +42,9 @@ def main() -> None:
           f"{'Total p99':>10s} {'in bound':>9s}")
     for scheme in ("ufab", "pwc", "es+clove"):
         c = run_ebs(scheme)
+        if not (c.sa_tcts and c.ba_tcts and c.total_tcts):
+            print(f"{scheme:10s} (no completed I/Os — duration too short)")
+            continue
         sa = sum(c.sa_tcts) / len(c.sa_tcts)
         ba = sum(c.ba_tcts) / len(c.ba_tcts)
         total = sum(c.total_tcts) / len(c.total_tcts)

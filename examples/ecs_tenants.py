@@ -3,23 +3,27 @@
 the fabric with a bandwidth-hungry MongoDB tenant (Figure 13).
 
 Run:  python examples/ecs_tenants.py
+(Set REPRO_EXAMPLE_DURATION to scale the simulated seconds.)
 """
 
+import os
 import random
 
-from repro import Network, UFabParams, make_fabric, three_tier_testbed
+from repro import Scenario, UFabParams
 from repro.analysis import percentile
 from repro.workloads import EmpiricalSize, KEY_VALUE_CDF
 from repro.workloads.apps import BulkFetchApp, RequestResponseApp
 
-DURATION = 0.08
-WARMUP = 0.02
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "0.08"))
+WARMUP = DURATION / 4
 
 
 def run_scenario(scheme: str, with_background: bool = True):
-    net = Network(three_tier_testbed())
-    params = UFabParams(n_candidate_paths=8)
-    fabric = make_fabric(scheme, net, params)
+    net, fabric = (
+        Scenario.testbed()
+        .scheme(scheme, params=UFabParams(n_candidate_paths=8))
+        .build(horizon=DURATION)
+    )
 
     memcached = RequestResponseApp(
         net, fabric, vf="memcached",
@@ -52,6 +56,10 @@ def main() -> None:
         ("es+clove", "es+clove", True),
     ):
         qps, qcts = run_scenario(scheme, background)
+        if not qcts:
+            print(f"{label:12s} {qps:8.0f} (no completed queries — "
+                  "duration too short)")
+            continue
         print(f"{label:12s} {qps:8.0f} {sum(qcts) / len(qcts) * 1e6:8.0f}u "
               f"{percentile(qcts, 99) * 1e6:8.0f}u")
     print("\nuFAB isolates the latency-sensitive tenant: its QCT stays "

@@ -3,57 +3,70 @@
 victim tenants to surviving paths within milliseconds (Figure 15a).
 
 Run:  python examples/failure_migration.py
+(Set REPRO_EXAMPLE_DURATION to scale the simulated seconds.)
 """
 
-from repro import Network, UFabParams, VMPair, install_ufab, three_tier_testbed
+import os
+
+from repro import Scenario, UFabParams
+
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "0.15"))
+JOIN_INTERVAL = DURATION / 15  # Figure 15a joins a VF every 10 ms
+FAIL_AT = 0.6 * DURATION  # the core dies at 90 ms on the paper's clock
 
 
 def main() -> None:
-    net = Network(three_tier_testbed(link_capacity=100e9))
-    fabric = install_ufab(net, UFabParams(n_candidate_paths=8))
-
     guarantees = (5, 5, 5, 10, 10, 10, 15)  # Gbps, Figure 15a's VF mix
-    pairs = []
-    for i, g in enumerate(guarantees):
-        pair = VMPair(f"VF-{i + 1}", f"VF-{i + 1}", f"S{i + 1}", "S8",
-                      phi=g * 1000)
-        net.sim.at(i * 0.01, fabric.add_pair, pair)  # join every 10 ms
-        pairs.append(pair)
+    scenario = (
+        Scenario.testbed(link_capacity=100e9)
+        .scheme("ufab", params=UFabParams(n_candidate_paths=8))
+        .tenants(
+            {"src": f"S{i + 1}", "dst": "S8", "gbps": float(g),
+             "name": f"VF-{i + 1}", "vf": f"VF-{i + 1}",
+             "at": i * JOIN_INTERVAL}
+            for i, g in enumerate(guarantees)
+        )
+    )
+    net, fabric = scenario.build(horizon=DURATION)
+    names = [f"VF-{i + 1}" for i in range(len(guarantees))]
 
     failed_core = {}
 
     def fail_busiest_core() -> None:
         # Fail the core switch currently carrying the most VFs.
         usage = {}
-        for pair in pairs:
-            if pair.pair_id not in net.pairs:
+        for name in names:
+            if name not in net.pairs:
                 continue
-            for link in net.path_of(pair.pair_id):
+            for link in net.path_of(name):
                 if link.dst.startswith("Core"):
                     usage[link.dst] = usage.get(link.dst, 0) + 1
         target = max(usage, key=usage.get) if usage else "Core1"
         failed_core["name"] = target
         net.fail_node(target)
 
-    net.sim.at(0.09, fail_busiest_core)  # a core dies at 90 ms
-    net.sample_rates([p.pair_id for p in pairs], period=1e-3, until=0.15)
-    net.run(0.15)
-    print(f"Failed switch at t=90 ms: {failed_core.get('name')}\n")
+    net.sim.at(FAIL_AT, fail_busiest_core)
+    net.sample_rates(names, period=1e-3, until=DURATION)
+    net.run(DURATION)
+    print(f"Failed switch at t={FAIL_AT * 1e3:.0f} ms: "
+          f"{failed_core.get('name')}\n")
 
-    print("VF rates (Gbps) before the failure (t=85 ms) and after "
-          "recovery (t=149 ms):\n")
-    print(f"{'VF':8s} {'guarantee':>10s} {'t=85ms':>8s} {'t=149ms':>9s} "
+    before_ms = round((FAIL_AT - 0.005) * 1e3)
+    after_ms = round(DURATION * 1e3) - 1
+    print(f"VF rates (Gbps) before the failure (t={before_ms} ms) and after "
+          f"recovery (t={after_ms} ms):\n")
+    print(f"{'VF':8s} {'guarantee':>10s} {'before':>8s} {'after':>9s} "
           f"{'migrations':>11s}")
-    for pair in pairs:
+    for name, g in zip(names, guarantees):
         series = dict(
-            (round(t * 1e3), r) for t, r in net.rate_samples[pair.pair_id]
+            (round(t * 1e3), r) for t, r in net.rate_samples[name]
         )
-        migrations = fabric.controller(pair.pair_id).stats["migrations"]
-        print(f"{pair.pair_id:8s} {pair.phi / 1000:9.0f}G "
-              f"{series.get(85, 0.0) / 1e9:7.1f}G "
-              f"{series.get(149, 0.0) / 1e9:8.1f}G {migrations:11d}")
-    print("\nVictim VFs crossing Core1 lose bandwidth at t=90 ms, detect the "
-          "probe loss, and migrate to Core2 paths; guarantees recover.")
+        migrations = fabric.controller(name).stats["migrations"]
+        print(f"{name:8s} {g:9.0f}G "
+              f"{series.get(before_ms, 0.0) / 1e9:7.1f}G "
+              f"{series.get(after_ms, 0.0) / 1e9:8.1f}G {migrations:11d}")
+    print("\nVictim VFs crossing the dead core lose bandwidth, detect the "
+          "probe loss, and migrate to surviving paths; guarantees recover.")
 
 
 if __name__ == "__main__":

@@ -5,29 +5,26 @@ Launches an N-to-1 incast under uFAB and under PicNIC'+WCC+Clove and
 compares the RTT distribution against uFAB's analytic 4-baseRTT bound.
 
 Run:  python examples/incast_bound.py [N]
+(Set REPRO_EXAMPLE_DURATION to scale the simulated seconds.)
 """
 
+import os
 import sys
 
-from repro import Network, UFabParams, VMPair, make_fabric, three_tier_testbed
+from repro import Scenario
 from repro.analysis import RttSampler, percentile
 
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "0.03"))
 
-def run_incast(scheme: str, degree: int, duration: float = 0.03):
-    net = Network(three_tier_testbed())
-    fabric = make_fabric(scheme, net, UFabParams())
-    pairs = []
-    for i in range(degree):
-        pair = VMPair(
-            pair_id=f"flow-{i}",
-            vf=f"vf-{i}",
-            src_host=f"S{1 + i % 7}",
-            dst_host="S8",
-            phi=500,  # 500 Mbps guarantee each
-        )
-        fabric.add_pair(pair)
-        pairs.append(pair)
-    sampler = RttSampler(net, [p.pair_id for p in pairs], period=6e-6)
+
+def run_incast(scheme: str, degree: int, duration: float = DURATION):
+    scenario = Scenario.testbed().scheme(scheme).tenants(
+        {"src": f"S{1 + i % 7}", "dst": "S8", "gbps": 0.5,
+         "name": f"flow-{i}", "vf": f"vf-{i}"}
+        for i in range(degree)
+    )
+    net, _fabric = scenario.build(horizon=duration)
+    sampler = RttSampler(net, [f"flow-{i}" for i in range(degree)], period=6e-6)
     sampler.start(duration)
     net.run(duration)
     return sampler.rtts.samples
@@ -42,6 +39,9 @@ def main() -> None:
     print(f"{'scheme':22s} {'p50':>8s} {'p99':>8s} {'p99.9':>8s} {'max':>8s}")
     for scheme in ("pwc", "ufab-prime", "ufab"):
         samples = run_incast(scheme, degree)
+        if not samples:
+            print(f"{scheme:22s} (no samples — duration too short)")
+            continue
         row = [percentile(samples, p) * 1e6 for p in (50, 99, 99.9)]
         row.append(max(samples) * 1e6)
         print(f"{scheme:22s} " + " ".join(f"{v:7.0f}u" for v in row))

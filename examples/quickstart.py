@@ -3,56 +3,51 @@
 tenants share a fabric with guarantees + work conservation.
 
 Run:  python examples/quickstart.py
+(Set REPRO_EXAMPLE_DURATION to scale the simulated seconds.)
 """
 
-from repro import Network, UFabParams, VMPair, install_ufab, three_tier_testbed
+import os
+
+from repro import Scenario
+
+DURATION = float(os.environ.get("REPRO_EXAMPLE_DURATION", "0.02"))
 
 
 def main() -> None:
-    # 1. Build the Figure-10 testbed (8 servers, 10 switches, 10G links)
-    #    and install uFAB: edge agents on every host, an informative-core
-    #    agent on every switch egress port.
-    net = Network(three_tier_testbed())
-    fabric = install_ufab(net, UFabParams())
+    # 1. Build the Figure-10 testbed (8 servers, 10 switches, 10G links),
+    #    install uFAB (edge agents on every host, an informative-core
+    #    agent on every switch egress port) and declare three tenants
+    #    with 1 / 2 / 5 Gbps minimum guarantees, all crossing the core.
+    scenario = (
+        Scenario.testbed()
+        .scheme("ufab")
+        .tenants([("S1", "S5", 1.0), ("S2", "S6", 2.0), ("S3", "S7", 5.0)])
+    )
 
-    # 2. Three tenants with different minimum guarantees (tokens are
-    #    1 Mbps each): 1, 2 and 5 Gbps, all crossing the core.
-    tenants = []
-    for i, (src, dst, gbps) in enumerate(
-        [("S1", "S5", 1.0), ("S2", "S6", 2.0), ("S3", "S7", 5.0)]
-    ):
-        pair = VMPair(
-            pair_id=f"tenant-{i}:{src}->{dst}",
-            vf=f"tenant-{i}",
-            src_host=src,
-            dst_host=dst,
-            phi=gbps * 1000,  # tokens
-        )
-        fabric.add_pair(pair)
-        tenants.append(pair)
-
-    # 3. Run 20 simulated milliseconds and read the delivered rates.
-    net.run(until=0.02)
-    print("After 20 ms, all backlogged:")
-    for pair in tenants:
-        rate = net.delivered_rate(pair.pair_id)
+    # 2. Run and read the delivered rates off the typed result.
+    result = scenario.run(until=DURATION)
+    print(f"After {DURATION * 1e3:.0f} ms, all backlogged:")
+    for pair in result.pairs:
         print(f"  {pair.pair_id}: guarantee {pair.phi / 1000:.0f}G "
-              f"-> delivered {rate / 1e9:.2f} Gbps")
+              f"-> delivered {result.delivered_gbps(pair.pair_id):.2f} Gbps")
 
-    # 4. Work conservation: tenant-2 goes (mostly) idle; the others
-    #    absorb its share within a millisecond.
-    fabric.set_demand(tenants[2].pair_id, 0.2e9)
-    net.run(until=0.022)
-    print("\n2 ms after tenant-2 drops to 0.2 Gbps of demand:")
-    for pair in tenants:
+    # 3. Work conservation: tenant-2 goes (mostly) idle; the others
+    #    absorb its share within a millisecond.  The result keeps the
+    #    network and fabric live, so the simulation just continues.
+    net, fabric = result.network, result.fabric
+    t2 = result.pairs[2].pair_id
+    fabric.set_demand(t2, 0.2e9)
+    net.run(until=DURATION + 0.002)
+    print(f"\n2 ms after {t2} drops to 0.2 Gbps of demand:")
+    for pair in result.pairs:
         rate = net.delivered_rate(pair.pair_id)
         print(f"  {pair.pair_id}: delivered {rate / 1e9:.2f} Gbps")
 
-    # 5. And reclaimed just as fast when demand returns.
-    fabric.set_demand(tenants[2].pair_id, float("inf"))
-    net.run(until=0.024)
-    print("\n2 ms after tenant-2's demand returns:")
-    for pair in tenants:
+    # 4. And reclaimed just as fast when demand returns.
+    fabric.set_demand(t2, float("inf"))
+    net.run(until=DURATION + 0.004)
+    print(f"\n2 ms after {t2}'s demand returns:")
+    for pair in result.pairs:
         rate = net.delivered_rate(pair.pair_id)
         print(f"  {pair.pair_id}: delivered {rate / 1e9:.2f} Gbps")
 

@@ -1,7 +1,19 @@
 """repro — reproduction of "Predictable vFabric on Informative Data
 Plane" (uFAB, SIGCOMM 2022).
 
-Public API quickstart::
+Public API quickstart (the :class:`Scenario` builder)::
+
+    from repro import Scenario
+
+    result = (
+        Scenario.testbed()
+        .scheme("ufab")
+        .tenants([("S1", "S5", 2.0)])
+        .run(until=0.05)
+    )
+    print(result.delivered_bps)
+
+The lower-level pieces remain public for custom wiring::
 
     from repro import Network, VMPair, install_ufab, three_tier_testbed
 
@@ -24,6 +36,7 @@ Packages:
 * :mod:`repro.experiments` — one runner per paper figure/table.
 """
 
+from repro.api import Scenario, ScenarioResult
 from repro.core.edge import UFabFabric, install_ufab
 from repro.core.params import UFabParams
 from repro.baselines.fabrics import ESCloveFabric, PWCFabric, make_fabric
@@ -41,6 +54,8 @@ from repro.sim.topology import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Scenario",
+    "ScenarioResult",
     "UFabFabric",
     "install_ufab",
     "UFabParams",

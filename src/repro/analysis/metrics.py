@@ -26,7 +26,11 @@ def percentile(values: Sequence[float], p: float) -> float:
     low = int(math.floor(rank))
     high = min(low + 1, len(data) - 1)
     frac = rank - low
-    return data[low] * (1 - frac) + data[high] * frac
+    # a + f*(b - a), clamped: exact when a == b and never outside
+    # [a, b], so percentiles stay monotone in p (the two-product form
+    # a*(1-f) + b*f can overshoot b by one ulp).
+    lo_v, hi_v = data[low], data[high]
+    return min(max(lo_v + frac * (hi_v - lo_v), lo_v), hi_v)
 
 
 class Cdf:

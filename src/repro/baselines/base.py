@@ -235,3 +235,13 @@ class BaselineFabric:
         pair = self.pairs[pair_id].pair
         pair.demand_bps = demand_bps
         self.network.refresh_pair(pair_id)
+
+    def restart_host(self, host: str) -> None:
+        """EdgeRestart fault: controllers on ``host`` lose their state."""
+        for controller in self.pairs.values():
+            if controller.pair.src_host != host:
+                continue
+            controller.stop()
+            controller.state.clear()
+            controller.last_path_switch = 0.0
+            controller.start()

@@ -21,6 +21,18 @@ Every figure command also accepts ``--trace out.jsonl`` /
 distinct cache keys, so they never alias untraced results), and ``repro
 trace <experiment>`` runs a single fully-instrumented cell for
 interactive inspection.
+
+Fault injection (:mod:`repro.faults`) threads through the same
+surface: every grid subcommand accepts ``--faults SPEC`` (e.g.
+``--faults "probe_loss:0.2; link_down:Agg1-Core1@0.01"``) to run every
+cell under that schedule (distinct cache keys again), ``repro faults``
+prints the spec grammar and validates schedules, and ``repro
+resilience`` sweeps the built-in probe-loss / link-MTBF fault axes.
+
+The shared options are declared once as argparse parent parsers
+(``--jobs/--no-cache/--cache-dir`` + ``--trace/--chrome-trace/
+--metrics`` + ``--faults``), so every grid subcommand exposes exactly
+the same surface.
 """
 
 from __future__ import annotations
@@ -43,12 +55,25 @@ def _obs_config(args) -> Optional[dict]:
     return {"trace": want_trace, "metrics": want_metrics}
 
 
+def _faults_config(args) -> Optional[dict]:
+    """Parse --faults into a FaultSchedule config (raises FaultSpecError)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from repro.faults import parse_faults
+
+    horizon = getattr(args, "duration", None)
+    schedule = parse_faults(spec, horizon=horizon if horizon else float("inf"))
+    return schedule.to_config()
+
+
 def _grid_kwargs(args) -> dict:
     return {
         "jobs": args.jobs,
         "use_cache": not args.no_cache,
         "cache_dir": args.cache_dir,
         "obs": _obs_config(args),
+        "faults": _faults_config(args),
     }
 
 
@@ -157,6 +182,50 @@ def _fig16(args) -> None:
     print(format_table("Figure 16: 90-to-1 dynamic workload",
                        ["scheme", "util", "RTT p99 (us)", "RTT max (us)"], rows))
     _write_obs(args, rows_raw)
+
+
+def _resilience(args) -> None:
+    from repro.experiments import fig_resilience
+
+    rows_raw = fig_resilience.run_grid(
+        schemes=tuple(args.schemes or fig_resilience.SCHEMES),
+        loss_rates=tuple(args.loss_rates),
+        mtbfs=tuple(args.mtbfs),
+        duration=args.duration,
+        **_grid_kwargs(args),
+    )
+    rows = []
+    for r in rows_raw:
+        label = (f"loss={r['level']:g}" if r["axis"] == "loss"
+                 else f"mtbf={r['level'] * 1e3:g}ms")
+        report = r.get("fault_report") or {}
+        injected = (report.get("probe_drops", 0)
+                    + report.get("link_failures", 0))
+        rows.append([
+            r["scheme"], label,
+            f"{100 * r['dissatisfaction_ratio']:.1f}%",
+            f"{r['p999'] * 1e6:.0f}", f"{r['max_rtt'] * 1e6:.0f}",
+            injected or "-",
+        ])
+    print(format_table(
+        "Resilience: dissatisfaction / tail RTT under faults",
+        ["scheme", "fault", "dissat", "p99.9 (us)", "max (us)", "injected"],
+        rows))
+    _write_obs(args, rows_raw)
+
+
+def _faults_cmd(args) -> None:
+    """``repro faults``: print the spec grammar / validate a schedule."""
+    from repro.faults import GRAMMAR, parse_faults
+
+    if not args.spec:
+        print(GRAMMAR.strip())
+        return
+    schedule = parse_faults(args.spec, horizon=args.duration,
+                            seed=args.seed)
+    print(f"ok: {len(schedule.events)} events (seed={schedule.seed})")
+    for event in schedule.events:
+        print(f"  {event.describe()}")
 
 
 def _tables(args) -> None:
@@ -276,6 +345,9 @@ def _trace(args) -> None:
     if args.scheme:
         grid_jobs = [j for j in grid_jobs if j.scheme == args.scheme] or grid_jobs
     job = grid_jobs[0]
+    faults = _faults_config(args)
+    if faults:
+        job = dataclasses.replace(job, faults=faults)
     obs = {"trace": True, "metrics": True, "profile": True,
            "trace_capacity": args.capacity}
     payload = execute_job(dataclasses.replace(job, obs=obs))
@@ -310,6 +382,9 @@ COMMANDS: Dict[str, Dict] = {
               "grid": True},
     "fig16": {"fn": _fig16, "help": "90-to-1 dynamic workload", "duration": 0.02,
               "grid": True},
+    "resilience": {"fn": _resilience,
+                   "help": "fault sweep: probe loss + link flaps",
+                   "duration": 0.04, "grid": True},
     "tables": {"fn": _tables, "help": "Tables 3-4 resource models",
                "duration": 0.0, "grid": False},
     "overhead": {"fn": _overhead, "help": "Figure 15b probing overhead",
@@ -317,7 +392,9 @@ COMMANDS: Dict[str, Dict] = {
 }
 
 
-def _add_runner_options(p: argparse.ArgumentParser) -> None:
+def _runner_parent() -> argparse.ArgumentParser:
+    """Shared ``--jobs/--no-cache/--cache-dir`` options (argparse parent)."""
+    p = argparse.ArgumentParser(add_help=False)
     p.add_argument("--jobs", type=int, default=default_jobs(),
                    help="parallel worker processes (default: $REPRO_JOBS or 1; "
                         "1 = in-process)")
@@ -325,15 +402,29 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
                    help="bypass the on-disk result cache")
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: .repro_cache)")
+    return p
 
 
-def _add_obs_options(p: argparse.ArgumentParser) -> None:
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared ``--trace/--chrome-trace/--metrics`` options."""
+    p = argparse.ArgumentParser(add_help=False)
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="write every cell's trace events as JSONL")
     p.add_argument("--chrome-trace", metavar="PATH", default=None,
                    help="write a chrome://tracing / Perfetto JSON trace")
     p.add_argument("--metrics", metavar="PATH", default=None,
                    help="write per-cell metrics registry dumps as JSON")
+    return p
+
+
+def _faults_parent() -> argparse.ArgumentParser:
+    """Shared ``--faults SPEC`` option (see ``repro faults`` for grammar)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="run every cell under this fault schedule, e.g. "
+                        "'probe_loss:0.2; link_down:Agg1-Core1@0.01' "
+                        "(grammar: repro faults)")
+    return p
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,24 +432,53 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate uFAB (SIGCOMM'22) evaluation figures.",
     )
+    runner_opts = _runner_parent()
+    grid_opts = [runner_opts, _obs_parent(), _faults_parent()]
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available figures")
     for name, spec in COMMANDS.items():
-        p = sub.add_parser(name, help=spec["help"])
+        p = sub.add_parser(
+            name, help=spec["help"],
+            parents=grid_opts if spec["grid"] else [runner_opts],
+        )
         p.add_argument("--duration", type=float, default=spec["duration"],
                        help="simulated seconds per run")
         p.add_argument("--schemes", nargs="*", default=None,
                        help="subset of schemes (where applicable)")
         p.add_argument("--degrees", nargs="*", type=int,
                        default=[2, 6, 10, 14], help="incast degrees (fig4)")
-        _add_runner_options(p)
-        if spec["grid"]:
-            _add_obs_options(p)
+        if name == "resilience":
+            from repro.experiments.fig_resilience import (
+                DEFAULT_LOSS_RATES,
+                DEFAULT_MTBFS,
+            )
+
+            p.add_argument("--loss-rates", nargs="*", type=float,
+                           default=list(DEFAULT_LOSS_RATES),
+                           help="probe-loss sweep points (0 = clean baseline)")
+            p.add_argument("--mtbfs", nargs="*", type=float,
+                           default=list(DEFAULT_MTBFS),
+                           help="link-flap MTBF sweep points (seconds)")
 
     from repro.obs.trace import DEFAULT_CAPACITY
     from repro.runner.bench import GRIDS
 
-    b = sub.add_parser("bench", help="run a sweep grid, emit BENCH_*.json")
+    f = sub.add_parser(
+        "faults",
+        help="print the fault-spec grammar / validate a schedule",
+        description="Without --spec, print the --faults mini-language "
+                    "grammar.  With --spec, parse + validate it and list "
+                    "the compiled events.",
+    )
+    f.add_argument("--spec", default=None, help="fault spec to validate")
+    f.add_argument("--duration", type=float, default=0.1,
+                   help="horizon for open-ended windows (default: 0.1 s)")
+    f.add_argument("--seed", type=int, default=0,
+                   help="schedule seed (default: 0, or the spec's seed: "
+                        "clause)")
+
+    b = sub.add_parser("bench", parents=[runner_opts],
+                       help="run a sweep grid, emit BENCH_*.json")
     b.add_argument("--grid", choices=sorted(GRIDS), default="fig11",
                    help="which grid to run (default: fig11)")
     b.add_argument("--duration", type=float, default=None,
@@ -382,14 +502,15 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--threshold", type=float, default=None,
                    help="with --compare: fail (exit 1) if the worst "
                         "matched cell's events/sec speedup is below this")
-    _add_runner_options(b)
 
     t = sub.add_parser(
         "trace",
+        parents=[_faults_parent()],
         help="run one fully-instrumented cell, write its trace",
         description="Run a single grid cell in-process with tracing, "
                     "metrics, and profiling all enabled, then write the "
-                    "captured event stream for interactive inspection.",
+                    "captured event stream for interactive inspection.  "
+                    "--faults overrides the cell's fault schedule.",
     )
     t.add_argument("experiment", choices=sorted(GRIDS),
                    help="which experiment grid to pick the cell from")
@@ -418,18 +539,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name:10s} {spec['help']}")
         print("  bench      run a sweep grid, emit BENCH_*.json")
         print("  trace      run one fully-instrumented cell, write its trace")
+        print("  faults     print the fault-spec grammar / validate a schedule")
         print("\n(benchmarks/ regenerates everything: "
               "pytest benchmarks/ --benchmark-only -s)")
         return 0
     from repro.experiments.common import GridError
+    from repro.faults import FaultSpecError
 
     try:
         if args.command == "bench":
             _bench(args)
         elif args.command == "trace":
             _trace(args)
+        elif args.command == "faults":
+            _faults_cmd(args)
         else:
             COMMANDS[args.command]["fn"](args)
+    except FaultSpecError as exc:
+        print(f"error: invalid fault spec: {exc}", file=sys.stderr)
+        return 2
     except GridError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

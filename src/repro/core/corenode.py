@@ -61,6 +61,11 @@ _M_SWEPT = OBS.metrics.counter(
     "core.sweep_removed", unit="pairs",
     site="repro/core/corenode.py:CoreAgent.sweep",
     desc="Register entries retired by the inactivity sweeper.")
+_M_STALE_STAMPS = OBS.metrics.counter(
+    "faults.stale_stamps", unit="probes",
+    site="repro/core/corenode.py:CoreAgent.stamp",
+    desc="INT records stamped from a frozen telemetry snapshot instead "
+         "of live registers (StaleTelemetry fault active on the link).")
 
 
 class CoreAgent:
@@ -92,6 +97,13 @@ class CoreAgent:
         self._tx_last_time = 0.0
         self._tx_last_delivered = 0.0
         self._tx_value = 0.0
+        # StaleTelemetry fault state: when frozen, stamp() serves this
+        # snapshot instead of live registers.  ``_stale_age`` bounds the
+        # staleness (snapshot refreshes that often); None = frozen for
+        # the whole fault window.
+        self._frozen: Optional[Tuple[float, float, float, float]] = None
+        self._frozen_at = 0.0
+        self._stale_age: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Probe path
@@ -153,6 +165,29 @@ class CoreAgent:
     def stamp(self, header: ProbeHeader, now: float) -> None:
         """Insert this hop's INT record (Figure 9, step 2-3)."""
         link = self.link
+        if self._frozen is not None:
+            if self._stale_age is not None and now - self._frozen_at >= self._stale_age:
+                # Bounded staleness: refresh the snapshot every age_s.
+                self._frozen = self._snapshot(now)
+                self._frozen_at = now
+            window_total, phi_total, tx, queue = self._frozen
+            header.hops.append(
+                HopRecord(
+                    window_total=window_total,
+                    phi_total=phi_total,
+                    tx_rate=tx,
+                    queue=queue,
+                    capacity=link.capacity,
+                    link_name=link.name,
+                )
+            )
+            if OBS.enabled:
+                _M_STALE_STAMPS.inc()
+                OBS.trace.record(now, _EV_QUEUE, {
+                    "link": link.name, "q_bits": queue, "tx_bps": tx,
+                    "phi_total": phi_total, "window_total": window_total,
+                })
+            return
         tx = self.measured_tx(now)
         queue = link.queue_bits(now)
         header.hops.append(
@@ -175,6 +210,56 @@ class CoreAgent:
             _S_TX.sample(now, tx, key=name)
             _G_PHI.set(self.phi_total, key=name)
             _G_WINDOW.set(self.window_total, key=name)
+
+    # ------------------------------------------------------------------
+    # Fault plane (repro.faults)
+    # ------------------------------------------------------------------
+    def _snapshot(self, now: float) -> Tuple[float, float, float, float]:
+        return (
+            self.window_total,
+            self.phi_total,
+            self.measured_tx(now),
+            self.link.queue_bits(now),
+        )
+
+    def freeze_telemetry(self, now: float, age_s: Optional[float] = None) -> None:
+        """Serve stale INT: stamp a frozen snapshot instead of live state.
+
+        Registration and finish probes still update the registers — only
+        the *stamped view* lags, which is exactly what a congested or
+        rate-limited telemetry pipeline produces.  ``age_s`` bounds the
+        staleness (snapshot refreshes that often); None freezes for the
+        whole window.
+        """
+        self._frozen = self._snapshot(now)
+        self._frozen_at = now
+        self._stale_age = age_s
+
+    def unfreeze_telemetry(self) -> None:
+        self._frozen = None
+        self._stale_age = None
+
+    @property
+    def telemetry_frozen(self) -> bool:
+        return self._frozen is not None
+
+    def reset(self, now: float = 0.0) -> None:
+        """Line-card reboot (CoreReset fault): wipe Bloom + Phi_l/W_l.
+
+        Probes re-register the surviving pairs on their next round trip;
+        until then the registers under-estimate and Eqn-3 over-allocates,
+        which is the transient the resilience sweep measures.
+        """
+        self._table.clear()
+        self.phi_total = 0.0
+        self.window_total = 0.0
+        self.bloom.clear()
+        # Restart the TX meter from the port's current byte counter
+        # (rebooted counters read from zero; diffing against the old
+        # baseline would fabricate a rate spike).
+        self._tx_last_time = now
+        self._tx_last_delivered = self.link.delivered_bits
+        self._tx_value = 0.0
 
     # ------------------------------------------------------------------
     # Deactivation

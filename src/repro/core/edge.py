@@ -73,7 +73,8 @@ _EV_PROBE_ECHO = OBS.metrics.event(
 _EV_PROBE_LOSS = OBS.metrics.event(
     "probe.loss", fields=("pair", "consecutive"),
     site="repro/core/edge.py:PairController._on_probe_loss",
-    desc="A probe timed out: window halved, RTT estimate inflated.")
+    desc="A probe timed out: confidence in last-good telemetry decayed, "
+         "window shrunk toward the guarantee floor, timeout backed off.")
 _EV_RATE = OBS.metrics.event(
     "pair.rate", fields=("pair", "window_bits", "rate_bps", "state"),
     site="repro/core/edge.py:PairController._apply_window",
@@ -90,6 +91,21 @@ _M_PROBE_LOSSES = OBS.metrics.counter(
     "edge.probe_losses", unit="probes",
     site="repro/core/edge.py:PairController._on_probe_loss",
     desc="Probe timeouts observed at the edge.")
+_M_RETRANSMITS = OBS.metrics.counter(
+    "edge.probe_retransmits", unit="probes",
+    site="repro/core/edge.py:PairController._on_probe_loss",
+    desc="Bounded probe retransmissions after a timeout (backoff applied) "
+         "before the path is declared dead.")
+_EV_RESTART = OBS.metrics.event(
+    "edge.restart", fields=("host", "pairs"),
+    site="repro/core/edge.py:EdgeAgent.restart",
+    desc="EdgeRestart fault: the host's controllers lost learned state "
+         "and re-joined from scratch.")
+_EV_RESYNC = OBS.metrics.event(
+    "pair.resync", fields=("pair",),
+    site="repro/core/edge.py:PairController.resync",
+    desc="Out-of-band resynchronization (e.g. after a CoreReset wiped "
+         "Phi_l/W_l): an immediate probe re-registers the pair.")
 _M_MIGRATIONS = OBS.metrics.counter(
     "edge.migrations", unit="migrations",
     site="repro/core/edge.py:PairController._complete_migration",
@@ -152,6 +168,7 @@ class PairController:
         self.idle_rounds = 0
         self.seq = 0
         self.consecutive_losses = 0
+        self._failure_migration_pending = False
         self._probe_event: Optional[Event] = None
         self._timeout_event: Optional[Event] = None
         self._last_hops = None
@@ -367,17 +384,62 @@ class PairController:
             })
         if self.state == PairState.IDLE:
             return
-        # Emergency brake: without feedback, a real windowed sender runs
-        # out of inflight allowance; halve the window before retrying.
-        self.window *= 0.5
-        self.rtt_est *= 1.5
+        # Bounded exponential backoff on the timeout clock.  The cap
+        # matters for the guarantee: the applied rate is
+        # window / rtt_est, so an unbounded estimate would starve the
+        # pair no matter where the window floors.
+        self.rtt_est = min(
+            self.rtt_est * self.params.probe_backoff,
+            self.params.max_rtt_backoff_rtts * self.base_rtt(),
+        )
+        # Blind fallback: keep flying on the last-good telemetry, but
+        # with decayed confidence — each timeout shrinks the window
+        # geometrically toward the guarantee floor phi * B_u * rtt_est
+        # (the window worth exactly B^min at the backed-off clock).
+        # Never below it: the Eqn-1 share is subscription-backed, so the
+        # guarantee is the one thing the edge can still enforce without
+        # feedback.  And never upward: a timeout must brake, so a window
+        # already at or under the floor stays put.
+        # A window under the floor snaps up to it: e.g. a post-migration
+        # bootstrap window was sized for the base RTT, and dividing it
+        # by the backed-off estimate would starve the pair below B^min.
+        floor = self.guarantee() * self.rtt_est
+        decay = self.params.loss_confidence_decay
+        self.window = floor + decay * max(self.window - floor, 0.0)
         self._apply_window()
-        if self.consecutive_losses >= 2:
-            # Path is likely dead (e.g. switch failure): migrate now.
+        if self.consecutive_losses > self.params.max_probe_retries:
+            # Retries exhausted: the path is dead, not just lossy.
             self.book.mark_failed(self.current_idx)
-            self._migrate(reason="failure", force=True)
+            self._failure_migrate()
         else:
+            if OBS.enabled:
+                _M_RETRANSMITS.inc()
             self._send_data_probe()
+
+    def _failure_migrate(self) -> None:
+        """Migrate off a dead path, honoring the host freeze window.
+
+        Unlike guarantee migrations (which simply wait for the next
+        violating round), a dead path has no probe clock left to retry
+        from — so inside a freeze window the migration is deferred to the
+        window's end rather than dropped.
+        """
+        now = self.sim.now
+        if now < self.agent.freeze_until:
+            if not self._failure_migration_pending:
+                self._failure_migration_pending = True
+                self.sim.at(self.agent.freeze_until, self._deferred_failure_migration)
+            return
+        self._migrate(reason="failure", force=True)
+
+    def _deferred_failure_migration(self) -> None:
+        self._failure_migration_pending = False
+        if self.state == PairState.IDLE:
+            return
+        # Only migrate if the path is still dark (no feedback cleared
+        # the loss streak while we waited out the freeze).
+        if self.consecutive_losses > self.params.max_probe_retries:
+            self._failure_migrate()
 
     def _send_finish(self) -> None:
         """Finish probe: retire this pair's registers along active paths."""
@@ -506,6 +568,13 @@ class PairController:
 
     def _apply_window(self) -> None:
         rate = self.window / max(self.rtt_est, 1e-9)
+        if self.consecutive_losses > 0 and self.state != PairState.IDLE:
+            # Blind (probes timing out): B^min is subscription-backed by
+            # the Eqn-1 share, so the commanded rate never falls below
+            # the guarantee — e.g. a post-migration bootstrap window
+            # divided by the backed-off RTT estimate.  Cleared by the
+            # first feedback (consecutive_losses resets to 0).
+            rate = max(rate, self.guarantee())
         if OBS.enabled:
             now = self.sim.now
             _M_RATE_UPDATES.inc()
@@ -685,6 +754,50 @@ class PairController:
             self._send_data_probe()
 
     # ------------------------------------------------------------------
+    # Fault plane (repro.faults)
+    # ------------------------------------------------------------------
+    def resync(self) -> None:
+        """Probe out of band so Phi_l/W_l re-learn this pair now.
+
+        Used after a CoreReset wiped the registers along the current
+        path: the self-clocked probe gap could leave the core blind to
+        this pair for many RTTs, during which Eqn-3 over-allocates to
+        everyone else.
+        """
+        if self.state == PairState.IDLE:
+            return
+        if OBS.enabled:
+            OBS.trace.record(self.sim.now, _EV_RESYNC, {"pair": self.pair.pair_id})
+        self._cancel_timers()
+        self._send_data_probe()
+
+    def restart(self) -> None:
+        """Edge restart: all learned state is gone; re-join from scratch.
+
+        The core keeps this pair's register contributions until its
+        first post-restart probe updates them in place (the register
+        table is keyed by pair id), so no double counting occurs.
+        """
+        self._cancel_timers()
+        self._failure_migration_pending = False
+        self.consecutive_losses = 0
+        self.violation_rounds = 0
+        self._desperate_rounds = 0
+        self._limited_rounds = 0
+        self._was_limited = False
+        self._better_since = None
+        self._idle_since = None
+        self._last_hops = None
+        self.book = PathBook(list(self.book.candidates))
+        self.rtt_est = self.base_rtt(0)
+        self.phi_receiver = math.inf
+        self.window = 0.0
+        self.report_window = 0.0
+        self.w_prime = 0.0
+        self.network.set_pair_rate(self.pair.pair_id, 0.0)
+        self.start()
+
+    # ------------------------------------------------------------------
     # Probe clocking
     # ------------------------------------------------------------------
     def _schedule_next_probe(self, now: float) -> None:
@@ -733,6 +846,16 @@ class EdgeAgent:
         self.controllers[pair.pair_id] = controller
         controller.start()
         return controller
+
+    def restart(self) -> None:
+        """EdgeRestart fault: wipe this host's learned edge state."""
+        self.freeze_until = 0.0
+        if OBS.enabled:
+            OBS.trace.record(self.network.sim.now, _EV_RESTART, {
+                "host": self.host_name, "pairs": len(self.controllers),
+            })
+        for controller in list(self.controllers.values()):
+            controller.restart()
 
     def launch_probe(
         self,
@@ -846,6 +969,34 @@ class UFabFabric:
         self.network.refresh_pair(pair_id)
         if rising:
             self.controller(pair_id).poke()
+
+    # ------------------------------------------------------------------
+    # Fault plane (repro.faults)
+    # ------------------------------------------------------------------
+    def restart_host(self, host: str) -> None:
+        """EdgeRestart fault entry point (uniform with BaselineFabric)."""
+        agent = self.edges.get(host)
+        if agent is not None:
+            agent.restart()
+
+    def on_core_reset(self, switch: str) -> None:
+        """A switch's registers were wiped: resync pairs crossing it.
+
+        Finish-probe/registration resynchronization (section 3.5's
+        recovery story): every controller whose current path traverses
+        one of the wiped egress ports probes immediately, so Phi_l/W_l
+        reconverge within one RTT instead of one probe gap.
+        """
+        wiped = {
+            name for name, agent in self.core_agents.items()
+            if agent.link.src == switch
+        }
+        if not wiped:
+            return
+        for edge in self.edges.values():
+            for controller in list(edge.controllers.values()):
+                if any(link.name in wiped for link in controller.path()):
+                    controller.resync()
 
 
 def install_ufab(

@@ -42,6 +42,26 @@ class UFabParams:
     # Probe loss is detected by timeout beyond 8 baseRTTs (section 4.1:
     # inflight <= 3 BDP bounds latency by 4 baseRTTs; timeout is 2x that).
     probe_timeout_rtts: float = 8.0
+    # --- degradation under probe loss ----------------------------------
+    # After a timeout the probe is retransmitted up to this many times
+    # before the path is declared dead and a failure migration fires.
+    max_probe_retries: int = 1
+    # Each retransmit inflates the RTT estimate (and hence the next
+    # timeout) by this factor — bounded exponential backoff, so a lossy
+    # but alive path is not mistaken for a dead one.
+    probe_backoff: float = 1.5
+    # Backoff cap: the RTT estimate never inflates beyond this many base
+    # RTTs.  Must sit above the worst legitimate queuing RTT (~4 base
+    # RTTs under the section-3.4 latency bound) or congestion itself
+    # would freeze the timeout clock; an unbounded backoff would let
+    # sustained probe loss drive the applied rate (window / rtt_est)
+    # to zero, violating B^min.
+    max_rtt_backoff_rtts: float = 8.0
+    # While probes are lost the edge keeps acting on its last-good
+    # telemetry, but with decayed confidence: each timeout shrinks the
+    # window geometrically toward the guarantee floor phi * B_u * T
+    # (never below it — B^min must hold even blind).
+    loss_confidence_decay: float = 0.5
     # A pair with no demand for this long sends finish probes and stops
     # probing ("it is idle for a while", section 3.6).  Must exceed the
     # typical inter-message gap of bursty RPC workloads, or pairs thrash

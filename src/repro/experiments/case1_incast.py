@@ -34,6 +34,7 @@ def run_one(
     duration: float = 0.03,
     guarantee_tokens: float = 500.0,
     seed: int = 1,
+    faults: Optional[Dict[str, object]] = None,
 ) -> IncastResult:
     """One incast run: ``degree`` senders to S8 on the 10G testbed."""
     net = testbed_network()
@@ -44,6 +45,10 @@ def run_one(
     pairs = incast_pairs(sources, "S8", tokens=guarantee_tokens)
     for pair in pairs:
         fabric.add_pair(pair)
+    if faults:
+        from repro.faults import install_faults
+
+        install_faults(net, fabric, faults, horizon=duration)
     sampler = RttSampler(net, [p.pair_id for p in pairs], period=6e-6)
     sampler.start(duration)
     net.run(duration)
@@ -64,9 +69,10 @@ def cell(
     degree: int,
     duration: float = 0.03,
     seed: int = 1,
+    faults: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """One runner grid cell: RTT percentiles for (scheme, degree)."""
-    r = run_one(scheme, degree, duration=duration, seed=seed)
+    r = run_one(scheme, degree, duration=duration, seed=seed, faults=faults)
     return {
         "scheme": scheme,
         "degree": degree,
@@ -112,12 +118,14 @@ def run_grid(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     obs: Optional[Dict[str, object]] = None,
+    faults: Optional[Dict[str, object]] = None,
 ) -> List[Dict[str, object]]:
     """The Figure 4 sweep through the parallel runner (rows of dicts)."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(degrees, schemes, duration, seeds), jobs=jobs,
-                  use_cache=use_cache, cache_dir=cache_dir, obs=obs)
+                  use_cache=use_cache, cache_dir=cache_dir, obs=obs,
+                  faults=faults)
 
 
 def run(

@@ -86,6 +86,7 @@ def run_one(
     join_time: float = 0.1,
     duration: float = 0.2,
     unit_bandwidth: float = 1e6,
+    faults: Optional[Dict[str, object]] = None,
 ) -> MigrationResult:
     topo = two_tier_three_path()
     net = Network(topo)
@@ -125,6 +126,11 @@ def run_one(
         add(name, src, dst, tokens, demand, pinned)
     net.sim.at(join_time, add, *F4, None)
 
+    if faults:
+        from repro.faults import install_faults
+
+        install_faults(net, fabric, faults, horizon=duration)
+
     names = [f[0] for f in FLOWS] + [F4[0]]
     net.sample_rates(names, period=1e-3, until=duration)
     net.run(duration)
@@ -159,6 +165,7 @@ def cell(
     scheme: str,
     flowlet_gap_s: Optional[float] = None,
     duration: float = 0.2,
+    faults: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """One runner grid cell: one Figure 5 panel.
 
@@ -166,7 +173,8 @@ def cell(
     for scaled-down runs so the post-join window always exists.
     """
     r = run_one(scheme, flowlet_gap_s=flowlet_gap_s or 200e-6,
-                join_time=min(0.1, duration / 2), duration=duration)
+                join_time=min(0.1, duration / 2), duration=duration,
+                faults=faults)
     return {
         "scheme": scheme,
         "flowlet_gap_s": r.flowlet_gap_s,
@@ -198,12 +206,13 @@ def run_grid(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     obs: Optional[Dict[str, object]] = None,
+    faults: Optional[Dict[str, object]] = None,
 ) -> "List[Dict[str, object]]":
     """The three Figure 5 panels through the parallel runner."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(duration), jobs=jobs, use_cache=use_cache,
-                  cache_dir=cache_dir, obs=obs)
+                  cache_dir=cache_dir, obs=obs, faults=faults)
 
 
 def run(duration: float = 0.2) -> List[MigrationResult]:

@@ -84,23 +84,33 @@ def run_grid(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     obs: Optional[Mapping[str, Any]] = None,
+    faults: Optional[Mapping[str, Any]] = None,
 ) -> List[Dict[str, Any]]:
     """Submit a grid, return ordered payload rows; raise on failures.
 
     ``jobs=1`` executes in-process through the same code path, so a
     serial run and an N-way run of the same grid return byte-identical
     rows.  Failed cells are collected (siblings still complete) and
-    surfaced together in a :class:`GridError`.
+    surfaced together in a :class:`GridError` whose message attributes
+    each failure to its exact cell ``(experiment, scheme, seed,
+    params)``.
 
     ``obs`` (an observability config mapping, see :mod:`repro.obs`)
     applies to every cell: each runs inside a capture and returns its
-    trace/metrics under the payload key ``"_obs"``.  The config is part
-    of each job's cache key, so traced results never alias untraced
-    ones.
+    trace/metrics under the payload key ``"_obs"``.  ``faults`` (a
+    fault-schedule config, see :meth:`repro.faults.FaultSchedule.
+    to_config`) likewise applies to every cell that does not already
+    carry its own schedule.  Both are part of each job's cache key, so
+    traced/faulted results never alias clean ones.
     """
     submitted = list(grid_jobs)
     if obs:
         submitted = [dataclasses.replace(job, obs=dict(obs)) for job in submitted]
+    if faults:
+        submitted = [
+            job if job.faults else dataclasses.replace(job, faults=dict(faults))
+            for job in submitted
+        ]
     runner = ParallelRunner(
         jobs=jobs,
         timeout_s=timeout_s,
@@ -109,10 +119,17 @@ def run_grid(
     results = runner.run(submitted)
     failed = [r for r in results if not r.ok]
     if failed:
-        lines = [
-            f"{r.job.describe()}: {(r.error or 'unknown error').strip().splitlines()[-1]}"
-            for r in failed
-        ]
+        lines = []
+        for r in failed:
+            job = r.job
+            cell = (
+                f"experiment={job.experiment!r} scheme={job.scheme!r} "
+                f"seed={job.seed} params={dict(job.params)!r}"
+            )
+            if job.faults:
+                cell += f" faults={dict(job.faults)!r}"
+            reason = (r.error or "unknown error").strip().splitlines()[-1]
+            lines.append(f"{job.describe()} ({cell}): {reason}")
         raise GridError(
             f"{len(failed)}/{len(results)} grid jobs failed:\n  " + "\n  ".join(lines)
         )

@@ -31,6 +31,7 @@ class GuaranteeResult:
     queue_cdf: Cdf
     guarantees: Dict[str, float]
     events_processed: int = 0
+    fault_report: Optional[Dict[str, int]] = None
 
 
 def run_one(
@@ -39,6 +40,7 @@ def run_one(
     join_interval: float = 0.02,
     seed: int = 3,
     unit_bandwidth: float = 1e6,
+    faults: Optional[Dict[str, object]] = None,
 ) -> GuaranteeResult:
     from repro.core.params import UFabParams
 
@@ -55,6 +57,12 @@ def run_one(
 
     for i, pair in enumerate(pairs):
         net.sim.at(i * join_interval, fabric.add_pair, pair)
+
+    injector = None
+    if faults:
+        from repro.faults import install_faults
+
+        injector = install_faults(net, fabric, faults, horizon=duration)
 
     auditor = GuaranteeAuditor(net, guarantees, period=0.5e-3)
     auditor.start(duration)
@@ -76,6 +84,7 @@ def run_one(
         queue_cdf=queues.queue_bits,
         guarantees=guarantees,
         events_processed=net.sim.events_processed,
+        fault_report=injector.report() if injector is not None else None,
     )
 
 
@@ -84,10 +93,12 @@ def cell(
     duration: float = 0.3,
     join_interval: float = 0.02,
     seed: int = 3,
+    faults: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """One runner grid cell: scalar panel metrics, JSON-serializable."""
-    r = run_one(scheme, duration=duration, join_interval=join_interval, seed=seed)
-    return {
+    r = run_one(scheme, duration=duration, join_interval=join_interval,
+                seed=seed, faults=faults)
+    row: Dict[str, object] = {
         "scheme": scheme,
         "seed": seed,
         "duration": duration,
@@ -97,6 +108,9 @@ def cell(
         "n_pairs": len(r.guarantees),
         "events_processed": r.events_processed,
     }
+    if r.fault_report is not None:
+        row["fault_report"] = r.fault_report
+    return row
 
 
 def grid(
@@ -127,12 +141,14 @@ def run_grid(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     obs: Optional[Dict[str, object]] = None,
+    faults: Optional[Dict[str, object]] = None,
 ) -> List[Dict[str, object]]:
     """The Figure 11 sweep through the parallel runner (rows of dicts)."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(schemes, duration, seeds), jobs=jobs,
-                  use_cache=use_cache, cache_dir=cache_dir, obs=obs)
+                  use_cache=use_cache, cache_dir=cache_dir, obs=obs,
+                  faults=faults)
 
 
 def run(

@@ -33,6 +33,7 @@ def run_one(
     duration: float = 0.06,
     guarantee_tokens: float = 500.0,
     seed: int = 1,
+    faults: Optional[Dict[str, object]] = None,
 ) -> Fig12Result:
     net = testbed_network()
     fabric = build_scheme(scheme, net, seed=seed)
@@ -40,6 +41,10 @@ def run_one(
     pairs = incast_pairs(sources, "S8", tokens=guarantee_tokens)
     for pair in pairs:
         fabric.add_pair(pair)
+    if faults:
+        from repro.faults import install_faults
+
+        install_faults(net, fabric, faults, horizon=duration)
     ids = [p.pair_id for p in pairs]
     sampler = RttSampler(net, ids, period=6e-6)
     sampler.start(duration)
@@ -70,9 +75,11 @@ def cell(
     duration: float = 0.06,
     degree: int = 14,
     seed: int = 1,
+    faults: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """One runner grid cell: RTT panel metrics for one scheme."""
-    r = run_one(scheme, degree=degree, duration=duration, seed=seed)
+    r = run_one(scheme, degree=degree, duration=duration, seed=seed,
+                faults=faults)
     return {
         "scheme": scheme,
         "degree": degree,
@@ -114,12 +121,14 @@ def run_grid(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     obs: Optional[Dict[str, object]] = None,
+    faults: Optional[Dict[str, object]] = None,
 ) -> List[Dict[str, object]]:
     """The Figure 12 sweep through the parallel runner (rows of dicts)."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(schemes, duration, seeds), jobs=jobs,
-                  use_cache=use_cache, cache_dir=cache_dir, obs=obs)
+                  use_cache=use_cache, cache_dir=cache_dir, obs=obs,
+                  faults=faults)
 
 
 def run(

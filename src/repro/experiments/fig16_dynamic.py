@@ -39,6 +39,7 @@ def run_one(
     period_s: float = 4e-3,
     unit_bandwidth: float = 1e6,
     seed: int = 4,
+    faults: Optional[Dict[str, object]] = None,
 ) -> DynamicResult:
     # 100G leaf-spine big enough for 90 senders + 1 receiver.
     topo = leaf_spine(
@@ -70,6 +71,11 @@ def run_one(
             period_s=period_s,
             phase_s=period_s,  # first switch to overload at t = period
         )
+
+    if faults:
+        from repro.faults import install_faults
+
+        install_faults(net, fabric, faults, horizon=duration)
 
     ids = [p.pair_id for p in pairs]
     sampler = RttSampler(net, ids[:16], period=20e-6)
@@ -114,9 +120,11 @@ def cell(
     n_senders: int = 90,
     duration: float = 0.024,
     seed: int = 4,
+    faults: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """One runner grid cell: convergence metrics for one scheme."""
-    r = run_one(scheme, n_senders=n_senders, duration=duration, seed=seed)
+    r = run_one(scheme, n_senders=n_senders, duration=duration, seed=seed,
+                faults=faults)
     return {
         "scheme": scheme,
         "n_senders": n_senders,
@@ -157,12 +165,14 @@ def run_grid(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     obs: Optional[Dict[str, object]] = None,
+    faults: Optional[Dict[str, object]] = None,
 ) -> List[Dict[str, object]]:
     """The Figure 16 sweep through the parallel runner (rows of dicts)."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(schemes, n_senders, duration), jobs=jobs,
-                  use_cache=use_cache, cache_dir=cache_dir, obs=obs)
+                  use_cache=use_cache, cache_dir=cache_dir, obs=obs,
+                  faults=faults)
 
 
 def run(

@@ -1,0 +1,232 @@
+"""Resilience: graceful degradation under probe loss and link failures.
+
+Two fault axes over the Figure-10 testbed permutation workload (the
+Fig-11 guarantee classes, all pairs active from t=0):
+
+* ``loss`` — a uniform per-hop probe-loss rate for the whole run;
+* ``mtbf`` — exponential link flaps on the aggregation tier (mean time
+  between failures; repair time is MTBF/4).
+
+uFAB degrades gracefully: probe timeouts shrink each pair's window
+toward (never below) its guarantee floor, failed paths are abandoned
+through failure-triggered migration, and delivered rates recover
+without oscillation.  PWC and ES+Clove re-arm probes blindly and keep
+trusting stale telemetry, so their dissatisfaction and tail RTT climb
+sharply along both axes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import GuaranteeAuditor, RttSampler, percentile
+from repro.core.params import UFabParams
+from repro.experiments.common import build_scheme, testbed_network
+from repro.workloads.synthetic import permutation_pairs
+
+SCHEMES = ("ufab", "pwc", "es+clove")
+GUARANTEE_CLASSES_GBPS = (1.0, 2.0, 5.0)
+SOURCES = ("S1", "S2", "S3", "S4")
+DESTINATIONS = ("S5", "S6", "S7", "S8")
+
+DEFAULT_LOSS_RATES = (0.0, 0.1, 0.3, 0.5)
+DEFAULT_MTBFS = (0.02, 0.01, 0.005)  # seconds; repair time is MTBF/4
+
+
+def loss_spec(rate: float) -> str:
+    """``--faults`` clause for a whole-run uniform probe-loss rate."""
+    return f"probe_loss:{rate}"
+
+
+def flap_spec(mtbf: float, mttr: Optional[float] = None) -> str:
+    """``--faults`` clause for exponential flaps on the Agg tier."""
+    if mttr is None:
+        mttr = mtbf / 4.0
+    return f"link_flaps:mtbf={mtbf},mttr={mttr}/Agg"
+
+
+@dataclasses.dataclass
+class ResilienceResult:
+    scheme: str
+    dissatisfaction_ratio: float
+    p50: float
+    p99: float
+    p999: float
+    max_rtt: float
+    events_processed: int = 0
+    fault_report: Optional[Dict[str, int]] = None
+
+
+def run_one(
+    scheme: str,
+    duration: float = 0.08,
+    seed: int = 5,
+    unit_bandwidth: float = 1e6,
+    faults: Optional[Dict[str, object]] = None,
+) -> ResilienceResult:
+    net = testbed_network()
+    params = UFabParams(n_candidate_paths=8)
+    fabric = build_scheme(scheme, net, params=params, seed=seed)
+    classes_tokens = [g * 1e9 / unit_bandwidth for g in GUARANTEE_CLASSES_GBPS]
+    pairs = permutation_pairs(SOURCES, DESTINATIONS, classes_tokens)
+    guarantees = {p.pair_id: p.phi * unit_bandwidth for p in pairs}
+    for pair in pairs:
+        fabric.add_pair(pair)
+
+    injector = None
+    if faults:
+        from repro.faults import install_faults
+
+        injector = install_faults(net, fabric, faults, horizon=duration)
+
+    auditor = GuaranteeAuditor(net, guarantees, period=0.5e-3)
+    auditor.start(duration)
+    sampler = RttSampler(net, [p.pair_id for p in pairs], period=10e-6)
+    sampler.start(duration)
+    net.run(duration)
+
+    samples = sampler.rtts.samples
+    return ResilienceResult(
+        scheme=scheme,
+        dissatisfaction_ratio=auditor.dissatisfaction_ratio,
+        p50=percentile(samples, 50),
+        p99=percentile(samples, 99),
+        p999=percentile(samples, 99.9),
+        max_rtt=max(samples) if samples else 0.0,
+        events_processed=net.sim.events_processed,
+        fault_report=injector.report() if injector is not None else None,
+    )
+
+
+def cell(
+    scheme: str,
+    axis: str,
+    level: float,
+    duration: float = 0.08,
+    seed: int = 5,
+    faults: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """One runner grid cell: one (scheme, fault-axis, level) point.
+
+    ``axis``/``level`` are plotting labels (``"loss"``/rate or
+    ``"mtbf"``/seconds); the actual fault schedule arrives through the
+    job's ``faults`` config (empty for the ``level == 0`` baseline).
+    """
+    r = run_one(scheme, duration=duration, seed=seed, faults=faults)
+    row: Dict[str, object] = {
+        "scheme": scheme,
+        "axis": axis,
+        "level": level,
+        "seed": seed,
+        "duration": duration,
+        "dissatisfaction_ratio": r.dissatisfaction_ratio,
+        "p50": r.p50,
+        "p99": r.p99,
+        "p999": r.p999,
+        "max_rtt": r.max_rtt,
+        "events_processed": r.events_processed,
+    }
+    if r.fault_report is not None:
+        row["fault_report"] = r.fault_report
+    return row
+
+
+def grid(
+    schemes: Sequence[str] = SCHEMES,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    mtbfs: Sequence[float] = DEFAULT_MTBFS,
+    duration: float = 0.08,
+    seeds: Sequence[int] = (5,),
+) -> List["Job"]:
+    """Both sweeps: probe-loss rates and Agg-tier link-flap MTBFs.
+
+    Each faulted cell carries its compiled :class:`FaultSchedule` config
+    on the job itself, so it participates in the cache key; the
+    ``level == 0`` loss baseline carries none and shares the clean cache
+    namespace.
+    """
+    from repro.faults import parse_faults
+    from repro.runner import Job
+
+    def make(scheme: str, seed: int, axis: str, level: float,
+             spec: Optional[str]) -> Job:
+        faults = (
+            parse_faults(spec, horizon=duration, seed=seed).to_config()
+            if spec else {}
+        )
+        return Job(
+            experiment="resilience",
+            entry="repro.experiments.fig_resilience:cell",
+            scheme=scheme,
+            seed=seed,
+            params={"scheme": scheme, "axis": axis, "level": level,
+                    "duration": duration, "seed": seed},
+            faults=faults,
+        )
+
+    jobs: List[Job] = []
+    for scheme in schemes:
+        for seed in seeds:
+            for rate in loss_rates:
+                jobs.append(make(scheme, seed, "loss", rate,
+                                 loss_spec(rate) if rate > 0 else None))
+            for mtbf in mtbfs:
+                jobs.append(make(scheme, seed, "mtbf", mtbf, flap_spec(mtbf)))
+    return jobs
+
+
+def run_grid(
+    schemes: Sequence[str] = SCHEMES,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    mtbfs: Sequence[float] = DEFAULT_MTBFS,
+    duration: float = 0.08,
+    seeds: Sequence[int] = (5,),
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    obs: Optional[Dict[str, object]] = None,
+    faults: Optional[Dict[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """The resilience sweep through the parallel runner (rows of dicts).
+
+    ``faults`` overrides both built-in axes: when given, every cell runs
+    under that one schedule instead (the grid still labels rows by its
+    own axis/level, so prefer the default ``None`` unless probing a
+    specific scenario).
+    """
+    from repro.experiments.common import run_grid as submit
+
+    grid_jobs = grid(schemes, loss_rates, mtbfs, duration, seeds)
+    if faults:
+        grid_jobs = [dataclasses.replace(j, faults={}) for j in grid_jobs]
+    return submit(grid_jobs, jobs=jobs, use_cache=use_cache,
+                  cache_dir=cache_dir, obs=obs, faults=faults)
+
+
+def run(
+    schemes: Sequence[str] = SCHEMES,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    mtbfs: Sequence[float] = DEFAULT_MTBFS,
+    duration: float = 0.08,
+    seed: int = 5,
+) -> List[ResilienceResult]:
+    """In-process sweep (full result objects; no runner/cache)."""
+    from repro.faults import parse_faults
+
+    out: List[ResilienceResult] = []
+    for scheme in schemes:
+        for rate in loss_rates:
+            cfg = (
+                parse_faults(loss_spec(rate), horizon=duration,
+                             seed=seed).to_config()
+                if rate > 0 else None
+            )
+            out.append(run_one(scheme, duration=duration, seed=seed,
+                               faults=cfg))
+        for mtbf in mtbfs:
+            cfg = parse_faults(flap_spec(mtbf), horizon=duration,
+                               seed=seed).to_config()
+            out.append(run_one(scheme, duration=duration, seed=seed,
+                               faults=cfg))
+    return out

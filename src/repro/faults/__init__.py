@@ -1,0 +1,100 @@
+"""repro.faults: deterministic fault injection and graceful degradation.
+
+Build a :class:`FaultSchedule` of typed events (or parse one from the
+``--faults`` mini-language), install it on a network with
+:func:`install_faults`, and run.  The same ``(seed, FaultSchedule)``
+always produces the same fault trace; the runner folds the schedule
+into every :class:`~repro.runner.Job` cache key.
+
+>>> from repro.faults import FaultSchedule, ProbeLoss, LinkDown
+>>> schedule = FaultSchedule.of(
+...     ProbeLoss(time=0.0, until=0.05, rate=0.1),
+...     LinkDown(time=0.02, src="Agg1", dst="Core1"),
+...     seed=7,
+... )
+
+See ``docs/API.md`` for the full reference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Union
+
+from repro.faults.events import (
+    CoreReset,
+    EdgeRestart,
+    FaultEvent,
+    LinkDown,
+    LinkFlaps,
+    LinkUp,
+    ProbeDelay,
+    ProbeLoss,
+    StaleTelemetry,
+    event_from_config,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule, random_link_failures
+from repro.faults.spec import GRAMMAR, FaultSpecError, parse_faults
+
+__all__ = [
+    "FaultEvent",
+    "LinkDown",
+    "LinkUp",
+    "LinkFlaps",
+    "ProbeLoss",
+    "ProbeDelay",
+    "StaleTelemetry",
+    "EdgeRestart",
+    "CoreReset",
+    "FaultSchedule",
+    "FaultInjector",
+    "FaultSpecError",
+    "GRAMMAR",
+    "event_from_config",
+    "random_link_failures",
+    "parse_faults",
+    "as_schedule",
+    "install_faults",
+]
+
+FaultsLike = Union[None, str, Mapping, FaultSchedule]
+
+
+def as_schedule(faults: FaultsLike, horizon: float = math.inf) -> FaultSchedule:
+    """Coerce any accepted faults form into a :class:`FaultSchedule`.
+
+    Accepts ``None`` (empty schedule), a spec string for
+    :func:`parse_faults`, a config mapping (the JSON cache-key form), or
+    a schedule, which is passed through.
+    """
+    if faults is None:
+        return FaultSchedule()
+    if isinstance(faults, FaultSchedule):
+        return faults
+    if isinstance(faults, str):
+        return parse_faults(faults, horizon)
+    if isinstance(faults, Mapping):
+        return FaultSchedule.from_config(faults)
+    raise TypeError(
+        f"faults must be None, a spec string, a config mapping, or a "
+        f"FaultSchedule; got {type(faults).__name__}"
+    )
+
+
+def install_faults(
+    network,
+    fabric=None,
+    faults: FaultsLike = None,
+    horizon: float = math.inf,
+) -> Optional[FaultInjector]:
+    """Install ``faults`` on ``network``; returns the injector, or None.
+
+    An empty/None schedule installs nothing (and therefore changes
+    nothing — not even RNG state), so callers can pass their ``faults``
+    argument through unconditionally.
+    """
+    schedule = as_schedule(faults, horizon)
+    if not schedule:
+        return None
+    return FaultInjector(network, fabric, schedule).install()

@@ -1,0 +1,262 @@
+"""Typed fault events.
+
+Every event is an immutable dataclass with a ``kind`` tag, a JSON
+round-trip (:meth:`to_config` / :func:`event_from_config`), and a
+well-defined injection semantic implemented by
+:class:`~repro.faults.injector.FaultInjector`:
+
+* :class:`LinkDown` / :class:`LinkUp` — fail/recover a physical link
+  (both directions), driving ``FluidSolver.invalidate()`` through the
+  network's failure path;
+* :class:`LinkFlaps` — deterministic random link failures at a given
+  MTBF/MTTR, compiled against the actual topology at install time;
+* :class:`ProbeLoss` — drop probes crossing matching links with a given
+  probability during a time window;
+* :class:`ProbeDelay` — add (optionally jittered) extra per-hop latency
+  to probes, which reorders them when the jitter exceeds the probe gap;
+* :class:`StaleTelemetry` — freeze the INT view stamped by matching
+  core agents so edges act on telemetry up to ``age_s`` old;
+* :class:`EdgeRestart` — wipe one host's edge-agent state (controllers
+  re-join from scratch);
+* :class:`CoreReset` — wipe a switch's Bloom filter and Phi_l/W_l
+  registers (probes re-register on the next round trip).
+
+Times are simulated seconds.  Link selectors are link *names*
+(``"Agg1-Core1"``); ``None`` means "all links".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, Optional, Tuple, Type
+
+__all__ = [
+    "FaultEvent",
+    "LinkDown",
+    "LinkUp",
+    "LinkFlaps",
+    "ProbeLoss",
+    "ProbeDelay",
+    "StaleTelemetry",
+    "EdgeRestart",
+    "CoreReset",
+    "event_from_config",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one scheduled fault.  ``time`` is when it fires."""
+
+    time: float
+
+    kind = "fault"
+
+    def to_config(self) -> Dict[str, Any]:
+        """JSON-serializable form (stable keys, scalars only)."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[field.name] = value
+        return out
+
+    def validate(self) -> None:
+        if self.time < 0 or not math.isfinite(self.time):
+            raise ValueError(f"{self.kind}: time must be finite and >= 0, got {self.time}")
+
+    def describe(self) -> str:
+        parts = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in dataclasses.fields(self)
+            if f.name != "time" and getattr(self, f.name) is not None
+        ]
+        return f"t={self.time:.6f}s {self.kind}({', '.join(parts)})"
+
+
+@dataclasses.dataclass(frozen=True)
+class _WindowedEvent(FaultEvent):
+    """A fault active from ``time`` until ``until``."""
+
+    until: float = math.inf
+
+    def validate(self) -> None:
+        super().validate()
+        if self.until <= self.time:
+            raise ValueError(f"{self.kind}: until ({self.until}) must be > time ({self.time})")
+
+
+def _normalize_links(links) -> Optional[Tuple[str, ...]]:
+    if links is None:
+        return None
+    return tuple(str(name) for name in links)
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkDown(FaultEvent):
+    """Fail the physical link between ``src`` and ``dst`` (both directions)."""
+
+    src: str = ""
+    dst: str = ""
+
+    kind = "link_down"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.src or not self.dst:
+            raise ValueError("link_down: src and dst are required")
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkUp(FaultEvent):
+    """Recover the physical link between ``src`` and ``dst``."""
+
+    src: str = ""
+    dst: str = ""
+
+    kind = "link_up"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.src or not self.dst:
+            raise ValueError("link_up: src and dst are required")
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkFlaps(_WindowedEvent):
+    """Random link failures: each matching link fails independently with
+    mean time between failures ``mtbf_s`` and recovers after
+    ``mttr_s`` (exponential inter-failure gaps, deterministic from the
+    schedule seed).  ``prefix`` restricts targets to links whose source
+    node name starts with it (e.g. ``"Agg"`` for agg->core uplinks)."""
+
+    mtbf_s: float = 0.0
+    mttr_s: float = 0.0
+    prefix: str = ""
+
+    kind = "link_flaps"
+
+    def validate(self) -> None:
+        super().validate()
+        if self.mtbf_s <= 0 or self.mttr_s <= 0:
+            raise ValueError("link_flaps: mtbf_s and mttr_s must be > 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeLoss(_WindowedEvent):
+    """Drop probes crossing matching links with probability ``rate``."""
+
+    rate: float = 0.0
+    links: Optional[Tuple[str, ...]] = None
+
+    kind = "probe_loss"
+
+    def __post_init__(self):
+        object.__setattr__(self, "links", _normalize_links(self.links))
+
+    def validate(self) -> None:
+        super().validate()
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"probe_loss: rate must be in [0, 1], got {self.rate}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeDelay(_WindowedEvent):
+    """Add ``delay_s`` (+ uniform jitter up to ``jitter_s``) per matching
+    hop.  Jitter larger than the probe gap reorders probe arrivals."""
+
+    delay_s: float = 0.0
+    jitter_s: float = 0.0
+    links: Optional[Tuple[str, ...]] = None
+
+    kind = "probe_delay"
+
+    def __post_init__(self):
+        object.__setattr__(self, "links", _normalize_links(self.links))
+
+    def validate(self) -> None:
+        super().validate()
+        if self.delay_s < 0 or self.jitter_s < 0:
+            raise ValueError("probe_delay: delay_s and jitter_s must be >= 0")
+        if self.delay_s == 0 and self.jitter_s == 0:
+            raise ValueError("probe_delay: at least one of delay_s/jitter_s must be > 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class StaleTelemetry(_WindowedEvent):
+    """Matching core agents stamp a frozen INT snapshot instead of live
+    registers.  With ``age_s`` the snapshot refreshes every ``age_s``
+    seconds (telemetry bounded-stale); without, it stays frozen for the
+    whole window."""
+
+    age_s: Optional[float] = None
+    links: Optional[Tuple[str, ...]] = None
+
+    kind = "stale_telemetry"
+
+    def __post_init__(self):
+        object.__setattr__(self, "links", _normalize_links(self.links))
+
+    def validate(self) -> None:
+        super().validate()
+        if self.age_s is not None and self.age_s <= 0:
+            raise ValueError("stale_telemetry: age_s must be > 0 when given")
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeRestart(FaultEvent):
+    """Restart the edge agent on ``host``: every pair controller loses
+    its learned state (RTT estimate, path book, window) and re-joins."""
+
+    host: str = ""
+
+    kind = "edge_restart"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.host:
+            raise ValueError("edge_restart: host is required")
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreReset(FaultEvent):
+    """Wipe the Bloom filter and Phi_l/W_l registers of every egress
+    port of ``switch`` (a line-card reboot); schemes resynchronize via
+    their next probe round trip."""
+
+    switch: str = ""
+
+    kind = "core_reset"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.switch:
+            raise ValueError("core_reset: switch is required")
+
+
+_EVENT_TYPES: Dict[str, Type[FaultEvent]] = {
+    cls.kind: cls
+    for cls in (
+        LinkDown, LinkUp, LinkFlaps, ProbeLoss, ProbeDelay,
+        StaleTelemetry, EdgeRestart, CoreReset,
+    )
+}
+
+
+def event_from_config(config: Dict[str, Any]) -> FaultEvent:
+    """Inverse of :meth:`FaultEvent.to_config`."""
+    spec = dict(config)
+    kind = spec.pop("kind", None)
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault kind {kind!r} (known: {sorted(_EVENT_TYPES)})")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(spec) - known
+    if unknown:
+        raise ValueError(f"{kind}: unknown fields {sorted(unknown)}")
+    event = cls(**spec)
+    event.validate()
+    return event

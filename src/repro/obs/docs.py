@@ -30,6 +30,7 @@ _INSTRUMENTED_MODULES = (
     "repro.core.corenode",
     "repro.core.pathsel",
     "repro.core.edge",
+    "repro.faults.injector",
 )
 
 

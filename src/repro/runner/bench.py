@@ -62,6 +62,15 @@ def _ablations_grid(schemes, seeds, duration, degrees) -> List[Job]:
                           seed=seeds[0] if seeds else 41)
 
 
+def _resilience_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    from repro.experiments import fig_resilience
+
+    return fig_resilience.grid(
+        schemes=schemes or fig_resilience.SCHEMES,
+        duration=duration, seeds=seeds,
+    )
+
+
 def _smoke_grid(schemes, seeds, duration, degrees) -> List[Job]:
     return [
         Job(
@@ -86,6 +95,8 @@ GRIDS: Dict[str, Dict[str, Any]] = {
               "help": "migration panels (3 jobs)"},
     "ablations": {"build": _ablations_grid, "duration": 0.03,
                   "help": "partial deployment + headroom cells"},
+    "resilience": {"build": _resilience_grid, "duration": 0.04,
+                   "help": "fault sweep: scheme x loss-rate/MTBF x seed"},
     "smoke": {"build": _smoke_grid, "duration": 0.0,
               "help": "simulator-free runner smoke grid"},
 }

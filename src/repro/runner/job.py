@@ -88,6 +88,13 @@ class Job:
     gains an ``"_obs"`` key with the exported trace/metrics/profile.
     The config is part of :meth:`config_hash`, so traced and untraced
     runs of the same cell never alias in the result cache.
+
+    ``faults`` is a fault-schedule config (the JSON form produced by
+    :meth:`repro.faults.FaultSchedule.to_config`).  When non-empty it is
+    passed to the entry as the ``faults`` keyword argument — entries
+    install it with :func:`repro.faults.install_faults`.  Like ``obs``
+    it is part of :meth:`config_hash`, so cells run under different
+    fault schedules (or none) never alias in the result cache.
     """
 
     experiment: str
@@ -96,9 +103,13 @@ class Job:
     seed: int = 0
     params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
     obs: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    faults: Mapping[str, Any] = dataclasses.field(default_factory=dict)
 
     def call_kwargs(self) -> Dict[str, Any]:
-        return dict(self.params)
+        kwargs = dict(self.params)
+        if self.faults:
+            kwargs["faults"] = dict(self.faults)
+        return kwargs
 
     def config_hash(self) -> str:
         """Stable digest of everything that determines the result."""
@@ -111,6 +122,10 @@ class Job:
             "obs": dict(self.obs),
             "code_version": code_version(),
         }
+        if self.faults:
+            # Only folded in when present, so every pre-faults cache key
+            # (and the seed corpus built on them) stays valid.
+            spec["faults"] = dict(self.faults)
         return hashlib.sha256(canonical_json(spec).encode()).hexdigest()[:24]
 
     def describe(self) -> str:

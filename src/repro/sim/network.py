@@ -53,6 +53,11 @@ class Network:
         # to batch hundreds of per-pair updates per control round.
         self.resolve_interval = 0.0
         self.failed_nodes: set = set()
+        # Fault-plane hook (repro.faults): when set, called as
+        # fn(probe, link) for every hop of every probe.  Returns extra
+        # per-hop delay in seconds, or None to drop the probe.  None
+        # (the default) keeps the hop path allocation-free.
+        self.probe_interceptor: Optional[Callable[[Probe, Link], Optional[float]]] = None
         # Per-pair delivered-rate listeners (message queues, meters).
         self._rate_listeners: Dict[str, List[Callable[[float], None]]] = {}
         # Time series: pair_id -> [(t, delivered_rate)] if sampling enabled.
@@ -222,10 +227,20 @@ class Network:
                 if on_drop is not None:
                     on_drop(probe)
                 return
+            extra = 0.0
+            interceptor = self.probe_interceptor
+            if interceptor is not None:
+                verdict = interceptor(probe, link)
+                if verdict is None:
+                    probe.dropped = True
+                    if on_drop is not None:
+                        on_drop(probe)
+                    return
+                extra = verdict
             if on_hop is not None:
                 on_hop(payload, link, self.sim.now)
             probe.hops_taken += 1
-            self.sim.schedule(link.delay(self.sim.now), traverse, index + 1)
+            self.sim.schedule(link.delay(self.sim.now) + extra, traverse, index + 1)
 
         self.sim.schedule(host_delay, traverse, 0)
         return probe
@@ -262,6 +277,11 @@ class Network:
 
     def fail_link(self, src: str, dst: str) -> None:
         self.topology.link(src, dst).failed = True
+        self.solver.invalidate()
+        self.request_resolve()
+
+    def recover_link(self, src: str, dst: str) -> None:
+        self.topology.link(src, dst).failed = False
         self.solver.invalidate()
         self.request_resolve()
 

@@ -1,0 +1,212 @@
+"""Tests for the unified public Scenario API (repro.api)."""
+
+import warnings
+
+import pytest
+
+from repro import Scenario, ScenarioResult, UFabParams
+from repro.faults import parse_faults
+from repro.sim.host import VMPair
+from repro.sim.topology import three_tier_testbed
+
+TENANTS = [("S1", "S5", 1.0), ("S2", "S6", 2.0), ("S3", "S7", 5.0)]
+
+
+def _scenario(**kw):
+    s = Scenario.testbed().scheme(kw.pop("scheme", "ufab")).tenants(TENANTS)
+    if "faults" in kw:
+        s = s.faults(kw.pop("faults"))
+    return s
+
+
+# ----------------------------------------------------------------------
+# Basic runs
+# ----------------------------------------------------------------------
+
+def test_run_returns_typed_result_with_guarantees_met():
+    result = _scenario().run(until=0.01)
+    assert isinstance(result, ScenarioResult)
+    assert result.scheme == "ufab" and result.duration == 0.01
+    assert len(result.pairs) == 3
+    for pid, gbps in (("t0:S1->S5", 1.0), ("t1:S2->S6", 2.0),
+                      ("t2:S3->S7", 5.0)):
+        assert result.guarantees_bps[pid] == pytest.approx(gbps * 1e9)
+        assert result.delivered_gbps(pid) >= gbps * 0.95
+        assert result.satisfied(pid)
+    assert result.events_processed > 0
+    assert result.fault_report is None and result.obs is None
+
+
+def test_summary_is_json_friendly():
+    summary = _scenario().run(until=0.005).summary()
+    assert summary["scheme"] == "ufab" and summary["n_pairs"] == 3
+    assert set(summary["delivered_bps"]) == {
+        "t0:S1->S5", "t1:S2->S6", "t2:S3->S7"}
+    import json
+    json.dumps(summary)  # no live objects
+
+
+def test_rate_series_sampled():
+    result = _scenario().run(until=0.01, sample_period=1e-3)
+    series = result.rate_series["t0:S1->S5"]
+    assert len(series) >= 5
+    assert all(isinstance(t, float) and isinstance(r, float)
+               for t, r in series)
+
+
+def test_builder_is_reusable_and_deterministic():
+    scenario = _scenario()
+    a = scenario.run(until=0.008)
+    b = scenario.run(until=0.008)
+    assert a.delivered_bps == b.delivered_bps
+    assert a.rate_series == b.rate_series
+    assert a.events_processed == b.events_processed
+
+
+def test_baseline_schemes_run():
+    for scheme in ("pwc", "es+clove"):
+        result = _scenario(scheme=scheme).run(until=0.005)
+        assert result.scheme == scheme
+        assert all(v > 0 for v in result.delivered_bps.values())
+
+
+# ----------------------------------------------------------------------
+# Tenant forms
+# ----------------------------------------------------------------------
+
+def test_tenants_accepts_tuple_mapping_and_vmpair():
+    pair = VMPair("explicit", vf="explicit", src_host="S4", dst_host="S8",
+                  phi=1000.0)
+    result = (
+        Scenario.testbed()
+        .tenants([
+            ("S1", "S5", 1.0),
+            {"src": "S2", "dst": "S6", "gbps": 2.0, "name": "named"},
+            pair,
+        ])
+        .run(until=0.005)
+    )
+    ids = {p.pair_id for p in result.pairs}
+    assert ids == {"t0:S1->S5", "named", "explicit"}
+    assert result.delivered_bps["explicit"] > 0
+
+
+def test_tenant_join_time_is_honored():
+    result = (
+        Scenario.testbed()
+        .tenant("S1", "S5", 1.0)
+        .tenant("S2", "S6", 2.0, at=0.005, name="late")
+        .run(until=0.01, sample_period=1e-3)
+    )
+    series = dict(
+        (round(t * 1e3), r) for t, r in result.rate_series["late"])
+    assert series.get(2, 0.0) == 0.0  # not joined yet at 2 ms
+    assert result.delivered_bps["late"] > 0  # joined by the end
+
+
+def test_tenant_demand_caps_delivered_rate():
+    result = (
+        Scenario.testbed()
+        .tenant("S1", "S5", 5.0, demand_gbps=1.0)
+        .run(until=0.01)
+    )
+    assert result.delivered_bps["t0:S1->S5"] == pytest.approx(1e9, rel=0.1)
+    assert result.satisfied("t0:S1->S5")
+
+
+def test_topology_classmethod_accepts_instance_and_factory():
+    for topo in (three_tier_testbed(), three_tier_testbed):
+        result = (
+            Scenario.topology(topo)
+            .tenant("S1", "S5", 1.0)
+            .run(until=0.005)
+        )
+        assert result.delivered_bps["t0:S1->S5"] > 0
+
+
+# ----------------------------------------------------------------------
+# Faults & observability
+# ----------------------------------------------------------------------
+
+def test_faults_spec_string_produces_report():
+    result = _scenario(faults="probe_loss:0.4").run(until=0.01)
+    assert result.fault_report is not None
+    assert result.fault_report["probe_drops"] > 0
+    # Degradation stays graceful: guarantees still hold.
+    assert all(result.satisfied(p.pair_id) for p in result.pairs)
+
+
+def test_faults_accepts_schedule_and_config_equivalently():
+    schedule = parse_faults("probe_loss:0.4", horizon=0.01)
+    by_spec = _scenario(faults="probe_loss:0.4").run(until=0.01)
+    by_schedule = _scenario(faults=schedule).run(until=0.01)
+    by_config = _scenario(faults=schedule.to_config()).run(until=0.01)
+    assert (by_spec.delivered_bps == by_schedule.delivered_bps
+            == by_config.delivered_bps)
+    assert (by_spec.fault_report == by_schedule.fault_report
+            == by_config.fault_report)
+
+
+def test_observe_exports_metrics_and_trace():
+    result = (
+        _scenario(faults="probe_loss:0.4")
+        .observe(trace=True, metrics=True)
+        .run(until=0.005)
+    )
+    assert result.obs is not None
+    assert "metrics" in result.obs and "trace" in result.obs
+    names = set(result.obs["metrics"])
+    assert any(n.startswith("faults.") for n in names)
+
+
+def test_observe_noop_when_all_false():
+    result = _scenario().observe().run(until=0.002)
+    assert result.obs is None
+
+
+# ----------------------------------------------------------------------
+# build() for custom-driven scenarios
+# ----------------------------------------------------------------------
+
+def test_build_returns_live_network_and_fabric():
+    net, fabric = _scenario().build(horizon=0.01)
+    assert set(net.pairs) == {"t0:S1->S5", "t1:S2->S6", "t2:S3->S7"}
+    net.run(0.005)
+    assert net.delivered_rate("t0:S1->S5") > 0
+
+
+def test_build_installs_faults_against_horizon():
+    net, _ = _scenario(faults="probe_loss:0.5").build(horizon=0.01)
+    injector = net._scenario_injector
+    assert injector is not None
+    net.run(0.01)
+    assert injector.report()["probe_drops"] > 0
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims
+# ----------------------------------------------------------------------
+
+def test_deprecated_shims_warn_and_still_work():
+    from repro import api
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        net = api.testbed_network()
+        fabric = api.build_scheme("ufab", net)
+    assert len(caught) == 2
+    assert all(issubclass(w.category, DeprecationWarning) for w in caught)
+    fabric.add_pair(VMPair("p0", vf="p0", src_host="S1", dst_host="S5",
+                           phi=1000.0))
+    net.run(0.003)
+    assert net.delivered_rate("p0") > 0
+
+
+def test_deprecated_install_ufab_shim():
+    from repro import api
+    from repro.experiments.common import testbed_network as make_testbed
+
+    net = make_testbed()
+    with pytest.deprecated_call():
+        fabric = api.install_ufab(net, seed=1)
+    assert fabric is not None

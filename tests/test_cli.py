@@ -76,3 +76,72 @@ def test_bench_command_writes_report(capsys, tmp_path):
 def test_bench_rejects_unknown_grid():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["bench", "--grid", "not-a-grid"])
+
+
+# ----------------------------------------------------------------------
+# Shared option parents: faults + observability on every grid command
+# ----------------------------------------------------------------------
+
+def test_every_grid_command_accepts_shared_options():
+    parser = build_parser()
+    for name, spec in COMMANDS.items():
+        if not spec.get("grid"):
+            continue
+        args = parser.parse_args([
+            name, "--jobs", "2", "--no-cache", "--cache-dir", "/tmp/c",
+            "--trace", "t.jsonl", "--metrics", "m.json",
+            "--faults", "probe_loss:0.1",
+        ])
+        assert args.jobs == 2 and args.no_cache
+        assert args.cache_dir == "/tmp/c"
+        assert args.trace == "t.jsonl" and args.metrics == "m.json"
+        assert args.faults == "probe_loss:0.1"
+
+
+def test_faults_command_prints_grammar(capsys):
+    assert main(["faults"]) == 0
+    out = capsys.readouterr().out
+    assert "probe_loss" in out and "semicolon-separated" in out
+
+
+def test_faults_command_validates_spec(capsys):
+    assert main(["faults", "--spec",
+                 "probe_loss:0.2@1ms-5ms; core_reset:Core1@2ms"]) == 0
+    out = capsys.readouterr().out
+    assert "ok: 2 events" in out
+    assert "probe_loss" in out and "core_reset" in out
+
+
+def test_faults_command_rejects_bad_spec(capsys):
+    assert main(["faults", "--spec", "probe_loss:banana"]) == 2
+    assert "probe_loss" in capsys.readouterr().err
+
+
+def test_grid_command_rejects_bad_faults_spec(capsys):
+    assert main(["fig4", "--duration", "0.004", "--faults", "nope:1"]) == 2
+    assert "nope" in capsys.readouterr().err
+
+
+def test_fig4_with_faults_tiny_run(capsys):
+    assert main(["fig4", "--duration", "0.004", "--degrees", "2",
+                 "--schemes", "ufab", "--no-cache",
+                 "--faults", "probe_loss:0.3"]) == 0
+    assert "Figure 4" in capsys.readouterr().out
+
+
+def test_resilience_command_tiny_run(capsys):
+    assert main(["resilience", "--duration", "0.006", "--schemes", "ufab",
+                 "--loss-rates", "0", "0.4", "--mtbfs", "--no-cache",
+                 "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ufab" in out and "loss" in out
+
+
+def test_trace_accepts_faults(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "fig11", "--scheme", "ufab",
+                 "--duration", "0.004", "--faults", "probe_loss:0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    trace = (tmp_path / "TRACE_fig11.jsonl").read_text()
+    assert "faults.probe_drop" in trace

@@ -1,0 +1,42 @@
+"""Smoke tests: every example runs green through the Scenario facade."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+# Short simulated durations keep the whole suite fast; each example
+# degrades gracefully ("duration too short") rather than crashing if a
+# workload completes nothing in the window.
+DURATIONS = {
+    "quickstart.py": "0.005",
+    "incast_bound.py": "0.01",
+    "failure_migration.py": "0.03",
+    "ecs_tenants.py": "0.02",
+    "ebs_storage.py": "0.02",
+}
+
+
+def test_examples_are_all_covered():
+    assert {p.name for p in EXAMPLES} == set(DURATIONS)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    env = dict(os.environ)
+    root = str(script.parent.parent / "src")
+    env["PYTHONPATH"] = root + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_EXAMPLE_DURATION"] = DURATIONS[script.name]
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "example printed nothing"
+    # The facade port must not fall back to the deprecated shims.
+    assert "DeprecationWarning" not in proc.stderr
