@@ -264,7 +264,12 @@ def _bench_compare(args) -> None:
         old = json.load(fh)
     with open(new_path, encoding="utf-8") as fh:
         new = json.load(fh)
-    diff = compare_reports(old, new, threshold=args.threshold)
+    diff = compare_reports(old, new, threshold=args.threshold,
+                           metric=args.metric, gate=args.gate)
+    if args.compare_out:
+        with open(args.compare_out, "w", encoding="utf-8") as fh:
+            json.dump(diff, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     rows = [
         [c["experiment"], c["scheme"], c["seed"],
          f"{c['old_events_per_sec']:,.0f}" if c["old_events_per_sec"] else "-",
@@ -279,11 +284,11 @@ def _bench_compare(args) -> None:
          "speedup", "wall (s)"], rows))
     print(f"\nmatched: {diff['n_matched']}   "
           f"old-only: {diff['n_old_only']}   new-only: {diff['n_new_only']}")
-    print(f"speedup: worst x{diff['worst_speedup']}, "
+    print(f"speedup ({diff['metric']}): worst x{diff['worst_speedup']}, "
           f"geomean x{diff['geomean_speedup']}, best x{diff['best_speedup']}")
     if args.threshold is not None:
         verdict = "PASS" if diff["passed"] else "FAIL"
-        print(f"threshold: worst >= x{args.threshold}  ->  {verdict}")
+        print(f"threshold: {diff['gate']} >= x{args.threshold}  ->  {verdict}")
     if not diff["passed"] or not diff["n_matched"]:
         raise SystemExit(1)
 
@@ -307,6 +312,7 @@ def _bench(args) -> None:
         cache_dir=args.cache_dir,
         out=args.out,
         profile=args.profile,
+        transit=args.transit,
     )
     rows = [
         [r["experiment"], r["scheme"], r["seed"],
@@ -496,12 +502,26 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--profile", action="store_true",
                    help="attach the obs event-loop profiler to every cell "
                         "(distinct cache keys from unprofiled runs)")
+    b.add_argument("--transit", choices=("fast", "slow"), default=None,
+                   help="pin REPRO_PROBE_TRANSIT for every cell (pair "
+                        "with --no-cache when A/B-ing transit modes)")
     b.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
                    help="diff two BENCH_*.json reports (events/sec and "
                         "per-job wall time) instead of running a grid")
     b.add_argument("--threshold", type=float, default=None,
-                   help="with --compare: fail (exit 1) if the worst "
-                        "matched cell's events/sec speedup is below this")
+                   help="with --compare: fail (exit 1) if the gated "
+                        "speedup is below this")
+    b.add_argument("--metric", choices=("events", "wall", "heap"),
+                   default="events",
+                   help="with --compare: speedup basis — events/sec "
+                        "(default), wall time, or heap (total events "
+                        "deleted; use wall/heap for transit-mode A/Bs, "
+                        "where event counts differ)")
+    b.add_argument("--gate", choices=("worst", "geomean"), default="worst",
+                   help="with --compare: apply --threshold to the worst "
+                        "cell (default) or to the geometric mean")
+    b.add_argument("--compare-out", metavar="PATH", default=None,
+                   help="with --compare: also write the diff JSON here")
 
     t = sub.add_parser(
         "trace",

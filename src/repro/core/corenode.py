@@ -150,7 +150,9 @@ class CoreAgent:
     def measured_tx(self, now: float) -> float:
         """EWMA'd windowed TX rate from the port's byte counter."""
         link = self.link
-        link.sync(now)
+        pending = link._pending
+        if (pending and pending[0].t < now) or now > link._last_sync:
+            link.sync(now)
         dt = now - self._tx_last_time
         if dt >= 5e-6:  # refresh when enough bytes/time accumulated
             sample = (link.delivered_bits - self._tx_last_delivered) / dt
@@ -189,7 +191,9 @@ class CoreAgent:
                 })
             return
         tx = self.measured_tx(now)
-        queue = link.queue_bits(now)
+        # measured_tx just synced the link to ``now``, so the raw queue
+        # register is current — same value queue_bits(now) would return.
+        queue = link.queue
         header.hops.append(
             HopRecord(
                 window_total=self.window_total,
@@ -235,7 +239,12 @@ class CoreAgent:
         self._frozen_at = now
         self._stale_age = age_s
 
-    def unfreeze_telemetry(self) -> None:
+    def unfreeze_telemetry(self, now: Optional[float] = None) -> None:
+        # Apply any deferred fast-path stamps that were due while the
+        # freeze was in effect — they must be served from the frozen
+        # snapshot, not the live registers thawing now.
+        if now is not None:
+            self.link.flush_pending(now)
         self._frozen = None
         self._stale_age = None
 
@@ -250,6 +259,11 @@ class CoreAgent:
         until then the registers under-estimate and Eqn-3 over-allocates,
         which is the transient the resilience sweep measures.
         """
+        # Deferred fast-path stamps due before the reboot belong to the
+        # pre-reset registers and byte counter; same-instant ones stay
+        # pending (in per-hop simulation the fault event, installed at
+        # t=0, pops before any same-instant traverse event).
+        self.link.flush_pending(now)
         self._table.clear()
         self.phi_total = 0.0
         self.window_total = 0.0
@@ -281,6 +295,9 @@ class CoreAgent:
         Returns the number of entries cleaned (section 4.2: "periodically
         cleans inactive items ... and decreases Phi_l and W_l").
         """
+        # Registrations from deferred fast-path stamps refresh last_seen;
+        # apply the ones due strictly before this sweep instant first.
+        self.link.flush_pending(now)
         timeout = self.params.silence_timeout_s
         stale = [pid for pid, (_, _, seen) in self._table.items() if now - seen > timeout]
         for pid in stale:

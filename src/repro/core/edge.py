@@ -35,7 +35,7 @@ from repro.core.admission import (
 )
 from repro.core.corenode import CoreAgent, attach_core_agents
 from repro.core.params import UFabParams
-from repro.core.pathsel import PathBook, summarize_path
+from repro.core.pathsel import PathBook, digest_hops, summarize_path
 from repro.core.probe import ProbeHeader, ProbeKind
 from repro.obs import OBS
 from repro.sim.engine import Event
@@ -132,6 +132,66 @@ def _path_label(path) -> str:
 # register the pair in Phi_l / W_l (otherwise scouting would subscribe
 # bandwidth on paths the pair never joins).  Not part of Figure 22.
 SCOUT = ProbeKind.FAILURE  # reuse a spare code internally; never serialized
+
+
+def _probe_on_hop(payload: ProbeHeader, link, now: float) -> None:
+    """Forward-leg hop work for data/finish probes (register + stamp).
+
+    Module-level rather than a per-probe closure: the hot path sends
+    one of these per ``L_w`` bytes per pair, and the closure cell +
+    function object per probe showed up in allocation profiles.  Reads
+    only time-indexed link state and per-agent stamp state, so it is
+    ``pure_hop`` for the flat-transit ledger.
+    """
+    agent: Optional[CoreAgent] = link.core_agent
+    if agent is not None:
+        agent.on_probe(payload, now)
+
+
+def _stamp_on_hop(payload: ProbeHeader, link, now: float) -> None:
+    """Hop work for scout probes: stamp INT without registering."""
+    agent: Optional[CoreAgent] = link.core_agent
+    if agent is not None:
+        agent.stamp(payload, now)
+
+
+class _RoundTrip:
+    """Pooled per-round-trip state for :meth:`EdgeAgent.launch_probe`.
+
+    Replaces the two closures previously allocated per probe (the
+    destination turnaround and the echo lambda) and caches the reverse
+    path at launch instead of recomputing it per echo.  Recycled into
+    the owning agent's freelist when the echo is delivered (leaked to
+    the GC if the probe is lost — losses are rare and pool misses are
+    harmless).
+    """
+
+    __slots__ = ("agent", "network", "pair_id", "dst_agent", "header",
+                 "on_response", "reverse")
+
+    def at_destination(self, probe, now: float) -> None:
+        if self.on_response is None:
+            self.agent._release_rt(self)
+            return
+        header = self.header
+        dst_agent = self.dst_agent
+        if dst_agent is not None:
+            header.phi_receiver = dst_agent.receiver_tokens.get(
+                self.pair_id, header.phi_receiver
+            )
+        self.network.send_probe(
+            self.reverse,
+            header,
+            on_hop=None,  # responses only carry data back
+            on_arrive=self.on_echo,
+            pure_hop=True,
+        )
+
+    def on_echo(self, probe, now: float) -> None:
+        on_response = self.on_response
+        header = self.header
+        self.agent._release_rt(self)
+        on_response(header, now)
 
 
 class PairState(enum.Enum):
@@ -292,6 +352,22 @@ class PairController:
     # ------------------------------------------------------------------
     def _make_header(self, kind: ProbeKind) -> ProbeHeader:
         self.seq += 1
+        free = self.agent._header_free
+        if free:
+            header = free.pop()
+            header.kind = kind
+            header.pair_id = self.pair.pair_id
+            header.phi = self.phi()
+            header.window = self.report_window
+            # Fresh list, not .clear(): _on_feedback keeps a reference
+            # to the previous round's hops (``_last_hops``).
+            header.hops = []
+            header.phi_receiver = None
+            header.seq = self.seq
+            header.sent_at = 0.0
+            header.path_idx = -1
+            self.sim.note_pool_reuse()
+            return header
         return ProbeHeader(
             kind=kind,
             pair_id=self.pair.pair_id,
@@ -307,23 +383,21 @@ class PairController:
         path = self.path(idx)
         timeout_ev: List[Optional[Event]] = [None]
 
-        def on_hop(payload: ProbeHeader, link, now: float) -> None:
-            agent: Optional[CoreAgent] = link.core_agent
-            if agent is not None:
-                agent.stamp(payload, now)
-
         def on_response(hdr: ProbeHeader, now: float) -> None:
             if timeout_ev[0] is not None:
                 timeout_ev[0].cancel()
+                timeout_ev[0] = None
             quality = summarize_path(hdr.hops, self.phi(), now - sent_at, now, self.params)
             self.book.record(idx, quality)
+            self.agent.release_header(hdr)
             done(idx, True)
 
         def on_timeout() -> None:
+            timeout_ev[0] = None
             self.book.mark_failed(idx)
             done(idx, False)
 
-        timeout_ev[0] = self.sim.schedule(
+        timeout_ev[0] = self.sim.schedule_transient(
             self.params.probe_timeout_rtts * max(self.base_rtt(idx), self.rtt_est),
             on_timeout,
         )
@@ -334,36 +408,26 @@ class PairController:
                 "pair": self.pair.pair_id, "kind": "scout",
                 "seq": header.seq, "path": _path_label(path),
             })
-        self.agent.launch_probe(self.pair, path, header, on_hop, on_response)
+        self.agent.launch_probe(self.pair, path, header, _stamp_on_hop, on_response)
 
     def _send_data_probe(self) -> None:
         """The self-clocked control probe on the current path."""
+        # If the probe timer fired to get here, its event is spent;
+        # drop the reference so the pooled event can be recycled.
+        self._probe_event = None
         if self.state == PairState.IDLE:
             return
         idx = self.current_idx
         header = self._make_header(ProbeKind.PROBE)
         sent_at = self.sim.now
+        header.sent_at = sent_at
+        header.path_idx = idx
         self._registered_paths.add(idx)
-
-        def on_hop(payload: ProbeHeader, link, now: float) -> None:
-            agent: Optional[CoreAgent] = link.core_agent
-            if agent is not None:
-                agent.on_probe(payload, now)
-
-        def on_response(hdr: ProbeHeader, now: float) -> None:
-            if self._timeout_event is not None:
-                self._timeout_event.cancel()
-                self._timeout_event = None
-            self.consecutive_losses = 0
-            if idx != self.current_idx or self.state == PairState.IDLE:
-                return  # stale response from before a migration
-            self._on_feedback(hdr, now, now - sent_at)
-
         # Timeout scales with the RTT estimate: during a transient breach
         # of the latency bound probes are late, not lost, and declaring
         # them lost would freeze the control loop mid-congestion.
         timeout = self.params.probe_timeout_rtts * max(self.base_rtt(idx), self.rtt_est)
-        self._timeout_event = self.sim.schedule(timeout, self._on_probe_loss)
+        self._timeout_event = self.sim.schedule_transient(timeout, self._on_probe_loss)
         self.stats["probes_sent"] += 1
         if OBS.enabled:
             _M_PROBES.inc()
@@ -371,7 +435,21 @@ class PairController:
                 "pair": self.pair.pair_id, "kind": "probe",
                 "seq": header.seq, "path": _path_label(self.path(idx)),
             })
-        self.agent.launch_probe(self.pair, self.path(idx), header, on_hop, on_response)
+        self.agent.launch_probe(
+            self.pair, self.path(idx), header, _probe_on_hop, self._on_data_response)
+
+    def _on_data_response(self, header: ProbeHeader, now: float) -> None:
+        """Echo of the control probe (bound method: no per-probe closure;
+        launch time and path index ride on the header)."""
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        self.consecutive_losses = 0
+        if header.path_idx != self.current_idx or self.state == PairState.IDLE:
+            self.agent.release_header(header)
+            return  # stale response from before a migration
+        self._on_feedback(header, now, now - header.sent_at)
+        self.agent.release_header(header)
 
     def _on_probe_loss(self) -> None:
         self._timeout_event = None
@@ -445,13 +523,7 @@ class PairController:
         """Finish probe: retire this pair's registers along active paths."""
         for idx in list(self._registered_paths):
             header = self._make_header(ProbeKind.FINISH)
-
-            def on_hop(payload: ProbeHeader, link, now: float) -> None:
-                agent: Optional[CoreAgent] = link.core_agent
-                if agent is not None:
-                    agent.on_probe(payload, now)
-
-            self.agent.launch_probe(self.pair, self.path(idx), header, on_hop, None)
+            self.agent.launch_probe(self.pair, self.path(idx), header, _probe_on_hop, None)
         self._registered_paths.clear()
 
     # ------------------------------------------------------------------
@@ -494,7 +566,11 @@ class PairController:
         self.rtt_est = 0.5 * self.rtt_est + 0.5 * rtt
         if header.phi_receiver is not None:
             self.phi_receiver = header.phi_receiver
-        quality = summarize_path(header.hops, self.phi(), rtt, now, self.params)
+        # Fused fold: PathQuality and the Eqn-3 window/entitlement/
+        # increment mins in one pass over the hop records (bit-identical
+        # to summarize_path + _window_from_hops, see digest_hops).
+        quality, w_eqn3, entitlement, increment = digest_hops(
+            header.hops, self.phi(), rtt, now, self.params, self.base_rtt())
         self.book.record(self.current_idx, quality)
         self._last_hops = header.hops
 
@@ -517,23 +593,16 @@ class PairController:
             self._limited_rounds = 0
         self._was_limited = self._limited_rounds >= 3
 
-        w_eqn3, entitlement, increment = self._window_from_hops(header.hops)
         if self.params.explicit_rate_only:
             # Ablation: pure Eqn-1 proportional share (weighted-RCP-like
             # explicit allocation) — no utilization/queue feedback.
-            t = self.base_rtt()
-            phi = self.phi()
-            share = math.inf
-            for hop in header.hops:
-                c_target = self.params.target_capacity(hop.capacity)
-                share = min(share, proportional_share(phi, hop.phi_total, c_target))
+            # quality.share_rate is the same min-over-hops Eqn-1 share
+            # the dedicated loop here used to recompute.
             self.state = PairState.STABLE
-            self.window = share * t
+            self.window = quality.share_rate * self.base_rtt()
             self.report_window = self.window
             self._apply_window()
-            self._track_violation(
-                summarize_path(header.hops, phi, rtt, now, self.params), now
-            )
+            self._track_violation(quality, now)
             self._schedule_next_probe(now)
             return
         if self.state == PairState.RAMP:
@@ -812,7 +881,7 @@ class PairController:
             gap_bits = self.params.probe_payload_gap_bytes * 8.0
             delay = max(gap_bits / rate, self.params.min_probe_gap_rtts * t)
             delay = min(delay, 64.0 * t)  # keep state fresh even when slow
-        self._probe_event = self.sim.schedule(delay, self._send_data_probe)
+        self._probe_event = self.sim.schedule_transient(delay, self._send_data_probe)
 
     def _cancel_probe_timer(self) -> None:
         if self._probe_event is not None:
@@ -839,6 +908,10 @@ class EdgeAgent:
         self.freeze_until = 0.0
         # Receiver-side token admission hook: pair_id -> phi_receiver.
         self.receiver_tokens: Dict[str, float] = {}
+        # Object freelists for the probe hot path (see _RoundTrip and
+        # PairController._make_header).
+        self._header_free: List[ProbeHeader] = []
+        self._rt_free: List[_RoundTrip] = []
 
     # ------------------------------------------------------------------
     def add_pair(self, pair: VMPair, candidates: List[Path]) -> PairController:
@@ -857,6 +930,28 @@ class EdgeAgent:
         for controller in list(self.controllers.values()):
             controller.restart()
 
+    def release_header(self, header: ProbeHeader) -> None:
+        """Return a delivered probe header to the freelist.
+
+        Only call once the response has been fully consumed; headers
+        whose probes were lost are never released (a late, fault-delayed
+        response may still deliver them) and simply fall to the GC.
+        """
+        free = self._header_free
+        if len(free) < 256:
+            free.append(header)
+
+    def _release_rt(self, rt: "_RoundTrip") -> None:
+        rt.agent = None
+        rt.network = None
+        rt.dst_agent = None
+        rt.header = None
+        rt.on_response = None
+        rt.reverse = ()
+        free = self._rt_free
+        if len(free) < 256:
+            free.append(rt)
+
     def launch_probe(
         self,
         pair: VMPair,
@@ -865,26 +960,28 @@ class EdgeAgent:
         on_hop,
         on_response: Optional[Callable[[ProbeHeader, float], None]],
     ) -> None:
-        """Send a probe; the destination edge answers over the reverse path."""
+        """Send a probe; the destination edge answers over the reverse path.
+
+        The round-trip state (including the reverse path, resolved once
+        here instead of per echo) lives in a pooled :class:`_RoundTrip`
+        rather than per-probe closures.
+        """
         network = self.network
-        dst_agent = network.hosts[pair.dst_host].edge_agent
-
-        def at_destination(probe, now: float) -> None:
-            if on_response is None:
-                return
-            if dst_agent is not None:
-                header.phi_receiver = dst_agent.receiver_tokens.get(
-                    pair.pair_id, header.phi_receiver
-                )
-            reverse = network.topology.reverse_path(path)
-            network.send_probe(
-                reverse,
-                header,
-                on_hop=None,  # responses only carry data back
-                on_arrive=lambda p, t: on_response(header, t),
-            )
-
-        network.send_probe(path, header, on_hop=on_hop, on_arrive=at_destination)
+        free = self._rt_free
+        if free:
+            rt = free.pop()
+            network.sim.note_pool_reuse()
+        else:
+            rt = _RoundTrip()
+        rt.agent = self
+        rt.network = network
+        rt.pair_id = pair.pair_id
+        rt.dst_agent = network.hosts[pair.dst_host].edge_agent
+        rt.header = header
+        rt.on_response = on_response
+        rt.reverse = network.topology.reverse_path(path)
+        network.send_probe(
+            path, header, on_hop=on_hop, on_arrive=rt.at_destination, pure_hop=True)
 
 
 class UFabFabric:

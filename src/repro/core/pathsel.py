@@ -14,9 +14,15 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.admission import proportional_share, work_conserving_rate
+from repro.core.admission import (
+    ENTITLEMENT_SATURATION_BDP,
+    additive_increment,
+    proportional_share,
+    window_entitlement,
+    work_conserving_rate,
+)
 from repro.core.params import UFabParams
 from repro.core.probe import HopRecord
 from repro.obs import OBS
@@ -98,6 +104,121 @@ def summarize_path(
         measured_rtt=measured_rtt,
         updated_at=now,
     )
+
+
+def digest_hops(
+    hops: Sequence[HopRecord],
+    phi: float,
+    measured_rtt: float,
+    now: float,
+    params: UFabParams,
+    base_rtt: float,
+) -> Tuple[PathQuality, float, float, float]:
+    """One-pass fold of a probe's hop records for the feedback handler.
+
+    Returns ``(quality, window, entitlement, increment)`` — exactly what
+    :func:`summarize_path` plus the per-hop Eqn-3 fold in
+    ``PairController._window_from_hops`` produce, with every accumulator
+    computed by the same operations in the same order, so results are
+    bit-identical.  The two folds are fused into a single loop with the
+    admission formulas inlined because the feedback handler runs once
+    per probe round per pair; the per-hop call fan-out (five small
+    admission/quality functions per hop, twice) dominates the control
+    plane's CPU profile at sweep scale.
+    """
+    if not hops:
+        raise ValueError("cannot summarize a path with no hop records")
+    t = base_rtt
+    if phi <= 0 or t <= 0:
+        # Cold corner (token-less pair, degenerate RTT): the inlined
+        # arithmetic below assumes phi > 0 and t > 0, so keep the
+        # reference implementations for this rare case.
+        quality = summarize_path(hops, phi, measured_rtt, now, params)
+        window = entitlement = increment = floor = math.inf
+        for hop in hops:
+            c_target = params.target_capacity(hop.capacity)
+            ent = window_entitlement(phi, hop.phi_total, hop.window_total,
+                                     c_target, hop.tx_rate, hop.queue, t)
+            entitlement = min(entitlement, ent)
+            window = min(window, ent, c_target * t)
+            increment = min(
+                increment, additive_increment(phi, hop.phi_total, c_target, t))
+            floor = min(
+                floor, proportional_share(phi, hop.phi_total, c_target) * t)
+        window = max(window, floor)
+        entitlement = max(entitlement, floor)
+        return quality, window, entitlement, increment
+
+    eta = params.target_utilization
+    bu = params.unit_bandwidth
+    subscription = 0.0
+    max_queue = 0.0
+    headroom = share = wc = math.inf
+    window = entitlement = increment = floor = math.inf
+    for hop in hops:
+        c_target = eta * hop.capacity
+        phi_total = hop.phi_total
+        pt = phi_total if phi_total > phi else phi
+        frac = phi / pt
+        sub = phi_total * bu / c_target
+        if sub > subscription:
+            subscription = sub
+        head = c_target / bu - phi_total
+        if head < headroom:
+            headroom = head
+        prop = frac * c_target
+        if prop < share:
+            share = prop
+        tx = hop.tx_rate
+        if tx <= 0:
+            wc_h = c_target
+        else:
+            wc_h = frac * tx * (c_target / tx)
+            if wc_h > c_target:
+                wc_h = c_target
+        if wc_h < wc:
+            wc = wc_h
+        queue = hop.queue
+        if queue > max_queue:
+            max_queue = queue
+        bdp = c_target * t
+        window_total = hop.window_total
+        denom = tx * t + queue
+        if window_total <= 0 or denom <= 0:
+            ent = bdp
+        else:
+            eff = window_total if window_total > bdp else bdp
+            ent = frac * eff * bdp / denom
+            sat = ENTITLEMENT_SATURATION_BDP * bdp
+            if ent > sat:
+                ent = sat
+        if ent < entitlement:
+            entitlement = ent
+        if ent < window:
+            window = ent
+        if bdp < window:
+            window = bdp
+        # additive_increment and the Eqn-1 floor share the expression
+        # (phi/Phi * C_l) * T = prop * t; computed once, folded twice.
+        fl = prop * t
+        if fl < increment:
+            increment = fl
+        if fl < floor:
+            floor = fl
+    if floor > window:
+        window = floor
+    if floor > entitlement:
+        entitlement = floor
+    quality = PathQuality(
+        subscription=subscription,
+        headroom_tokens=headroom,
+        share_rate=share,
+        wc_rate=wc,
+        max_queue=max_queue,
+        measured_rtt=measured_rtt,
+        updated_at=now,
+    )
+    return quality, window, entitlement, increment
 
 
 class PathBook:

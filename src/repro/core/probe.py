@@ -54,16 +54,42 @@ SPEED_CODES = {
 _SPEED_TO_CODE = {v: k for k, v in SPEED_CODES.items()}
 
 
-@dataclasses.dataclass
 class HopRecord:
-    """One hop's INT record: what uFAB-C stamps at a link."""
+    """One hop's INT record: what uFAB-C stamps at a link.
 
-    window_total: float  # W_l: total sending window on the link (bits)
-    phi_total: float  # Phi_l: total active tokens on the link
-    tx_rate: float  # tx_l: actual output rate (bits/s)
-    queue: float  # q_l: real-time queue size (bits)
-    capacity: float  # C_l: physical port speed (bits/s)
-    link_name: str = ""  # simulator-side debugging aid; not on the wire
+    Hand-written ``__slots__`` class rather than a dataclass: one is
+    allocated per hop per stamped probe — the single hottest allocation
+    in big sweeps — and slots keep it compact on every supported Python
+    (``dataclass(slots=True)`` needs 3.10+).
+    """
+
+    __slots__ = ("window_total", "phi_total", "tx_rate", "queue",
+                 "capacity", "link_name")
+
+    def __init__(self, window_total: float, phi_total: float, tx_rate: float,
+                 queue: float, capacity: float, link_name: str = "") -> None:
+        self.window_total = window_total  # W_l: total sending window (bits)
+        self.phi_total = phi_total  # Phi_l: total active tokens on the link
+        self.tx_rate = tx_rate  # tx_l: actual output rate (bits/s)
+        self.queue = queue  # q_l: real-time queue size (bits)
+        self.capacity = capacity  # C_l: physical port speed (bits/s)
+        self.link_name = link_name  # simulator-side debugging aid; not on wire
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HopRecord):
+            return NotImplemented
+        return (self.window_total == other.window_total
+                and self.phi_total == other.phi_total
+                and self.tx_rate == other.tx_rate
+                and self.queue == other.queue
+                and self.capacity == other.capacity
+                and self.link_name == other.link_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HopRecord(window_total={self.window_total!r}, "
+                f"phi_total={self.phi_total!r}, tx_rate={self.tx_rate!r}, "
+                f"queue={self.queue!r}, capacity={self.capacity!r}, "
+                f"link_name={self.link_name!r})")
 
 
 @dataclasses.dataclass
@@ -80,6 +106,11 @@ class ProbeHeader:
     phi_receiver: Optional[float] = None
     # Sequence number for RTT measurement / loss detection at the edge.
     seq: int = 0
+    # Edge-side round-trip bookkeeping (not on the wire): launch time
+    # and the candidate-path index this probe was sent down.  Carried on
+    # the header so the response callback needs no per-probe closure.
+    sent_at: float = 0.0
+    path_idx: int = -1
 
     @property
     def n_hops(self) -> int:

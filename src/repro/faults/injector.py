@@ -184,6 +184,9 @@ class FaultInjector:
                 flipped += 1
         if not flipped:
             return
+        # Flipping link.failed breaks the calm-path assumption of any
+        # probe currently in flat transit; kick them back to per-hop.
+        self.network.on_turbulence()
         self.network.solver.invalidate()
         self.network.request_resolve()
         key = "link_failures" if failed else "link_recoveries"
@@ -274,7 +277,7 @@ class FaultInjector:
                     if OBS.enabled:
                         _M_STALE_WINDOWS.inc()
             elif agent.telemetry_frozen:
-                agent.unfreeze_telemetry()
+                agent.unfreeze_telemetry(now)
                 if OBS.enabled:
                     _M_STALE_WINDOWS.inc()
 

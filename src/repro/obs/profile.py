@@ -44,6 +44,12 @@ class SimProfiler:
         self.runs += 1
         self._run_now0 = sim.now
         self._run_t0 = time.perf_counter()
+        # Observe the initial heap so max_heap is meaningful even for
+        # runs shorter than one sampling interval (the flat probe transit
+        # collapses small scenarios to a few hundred events).
+        depth = len(sim._heap)
+        if depth > self.max_heap:
+            self.max_heap = depth
 
     def tick(self, sim, heap_depth: int) -> None:
         if heap_depth > self.max_heap:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+import os
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -71,6 +72,33 @@ def _resilience_grid(schemes, seeds, duration, degrees) -> List[Job]:
     )
 
 
+def _probe_fastpath_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    """Probe-heavy uFAB cells: the flat-transit fast path's home turf.
+
+    fig11 plus the clean + link-flaps ends of the resilience sweep, uFAB
+    only — the cells where probe transit dominates the event count.
+    Loss-axis cells with ``level > 0`` are excluded: their fault window
+    keeps a probe interceptor installed for the whole run, which turns
+    the fast path off by design, so they A/B nothing.
+
+    Run once with ``--transit slow`` and once with ``--transit fast``,
+    then ``--compare --metric heap`` (heap events deleted for the same
+    work) and ``--metric wall``.  Plain events/sec is meaningless across
+    transit modes: the fast path deletes events, it does not speed them
+    up.
+    """
+    from repro.experiments import fig11_guarantee, fig_resilience
+
+    out = fig11_guarantee.grid(schemes=("ufab",), duration=duration,
+                               seeds=seeds)
+    out += [
+        j for j in fig_resilience.grid(schemes=("ufab",), duration=duration,
+                                       seeds=seeds)
+        if not (j.params.get("axis") == "loss" and j.params.get("level", 0) > 0)
+    ]
+    return out
+
+
 def _smoke_grid(schemes, seeds, duration, degrees) -> List[Job]:
     return [
         Job(
@@ -99,6 +127,9 @@ GRIDS: Dict[str, Dict[str, Any]] = {
                    "help": "fault sweep: scheme x loss-rate/MTBF x seed"},
     "smoke": {"build": _smoke_grid, "duration": 0.0,
               "help": "simulator-free runner smoke grid"},
+    "probe_fastpath": {"build": _probe_fastpath_grid, "duration": 0.04,
+                       "help": "probe-heavy ufab cells (fig11 + "
+                               "resilience) for transit-mode A/B"},
 }
 
 
@@ -129,6 +160,7 @@ def run_bench(
     cache_dir: Optional[str] = None,
     out: Optional[str] = None,
     profile: bool = False,
+    transit: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run a grid and return (and optionally write) the bench report.
 
@@ -136,6 +168,13 @@ def run_bench(
     report carries the engine's own counters (events/sec measured inside
     ``Simulator.run`` rather than across process setup), at the cost of a
     distinct cache key from unprofiled runs.
+
+    ``transit`` pins ``REPRO_PROBE_TRANSIT`` (``"fast"`` or ``"slow"``)
+    for the whole run — in-process cells read it per Network, spawned
+    workers inherit it with the environment.  Use with ``use_cache=False``
+    when A/B-ing transit modes: the cache key does not include the mode
+    (by design — payloads are bit-identical), so a cached run would
+    report the other mode's timings.
     """
     grid_jobs = build_grid(grid, schemes=schemes, seeds=seeds,
                            duration=duration, degrees=degrees)
@@ -144,9 +183,21 @@ def run_bench(
                      for j in grid_jobs]
     cache = ResultCache(cache_dir) if use_cache else None
     runner = ParallelRunner(jobs=jobs, timeout_s=timeout_s, cache=cache)
-    start = time.perf_counter()
-    results = runner.run(grid_jobs)
-    total_wall = time.perf_counter() - start
+    saved_transit = os.environ.get("REPRO_PROBE_TRANSIT")
+    if transit is not None:
+        if transit not in ("fast", "slow"):
+            raise ValueError(f"transit must be 'fast' or 'slow', got {transit!r}")
+        os.environ["REPRO_PROBE_TRANSIT"] = transit
+    try:
+        start = time.perf_counter()
+        results = runner.run(grid_jobs)
+        total_wall = time.perf_counter() - start
+    finally:
+        if transit is not None:
+            if saved_transit is None:
+                del os.environ["REPRO_PROBE_TRANSIT"]
+            else:
+                os.environ["REPRO_PROBE_TRANSIT"] = saved_transit
 
     per_job = []
     for r in results:
@@ -175,6 +226,7 @@ def run_bench(
         "grid": grid,
         "jobs": jobs,
         "profile": profile,
+        "transit": transit,
         "n_jobs": len(grid_jobs),
         "n_failed": sum(1 for r in results if not r.ok),
         "total_wall_s": round(total_wall, 6),
@@ -213,20 +265,40 @@ def compare_reports(
     old: Dict[str, Any],
     new: Dict[str, Any],
     threshold: Optional[float] = None,
+    metric: str = "events",
+    gate: str = "worst",
 ) -> Dict[str, Any]:
     """Diff two bench reports (as loaded from ``BENCH_*.json``).
 
     Jobs are matched on (experiment, scheme, seed, params).  Each match
-    gets the events/sec and wall-time ratio ``new / old``; the summary
-    carries the worst (minimum) speedup across matched cells, so a
-    regression anywhere drives the verdict.
+    gets a speedup under the chosen ``metric``:
 
-    ``threshold`` is the minimum acceptable worst-cell events/sec
-    speedup: ``passed`` is False when any matched cell falls below it
-    (use ~0.8-0.9 in CI to catch regressions while tolerating noise; a
-    perf PR proving a win sets it above 1).  Events/sec is not
-    comparable across machines — compare reports from the same host.
+    - ``"events"`` (default): events/sec ratio ``new / old`` — right
+      for same-semantics optimizations where the event stream is
+      unchanged.
+    - ``"wall"``: wall-time ratio ``old / new`` — for comparisons where
+      the two reports process *different event counts* for the same
+      work (e.g. ``--transit slow`` vs ``fast``: the fast path deletes
+      events, so events/sec moves the wrong way while wall time is what
+      improves).
+    - ``"heap"``: total-events ratio ``old / new`` — simulator heap
+      operations deleted for the same work.  This is the probe-plane
+      speedup itself (per-hop transit events collapsed into flat
+      arrivals); wall time follows it only as far as event dispatch
+      dominates the cell, so report both.
+
+    ``threshold`` is the minimum acceptable speedup at the chosen
+    ``gate``: ``"worst"`` fails if any matched cell falls below it (CI
+    regression guard, ~0.8-0.9 to tolerate noise); ``"geomean"`` gates
+    on the geometric mean (a perf PR proving an aggregate win, e.g.
+    1.5).  Timings are not comparable across machines — compare reports
+    from the same host.
     """
+    if metric not in ("events", "wall", "heap"):
+        raise ValueError(
+            f"metric must be 'events', 'wall' or 'heap', got {metric!r}")
+    if gate not in ("worst", "geomean"):
+        raise ValueError(f"gate must be 'worst' or 'geomean', got {gate!r}")
     old_rows = {_job_key(r): r for r in old.get("results", []) if r.get("ok")}
     new_rows = {_job_key(r): r for r in new.get("results", []) if r.get("ok")}
     matched = []
@@ -243,12 +315,20 @@ def compare_reports(
             "new_events_per_sec": nrow.get("events_per_sec"),
             "old_wall_s": orow.get("wall_s"),
             "new_wall_s": nrow.get("wall_s"),
+            "old_events": orow.get("events_processed"),
+            "new_events": nrow.get("events_processed"),
         }
         o_eps, n_eps = orow.get("events_per_sec"), nrow.get("events_per_sec")
-        entry["speedup"] = (
-            round(n_eps / o_eps, 4) if o_eps and n_eps else None)
         o_w, n_w = orow.get("wall_s"), nrow.get("wall_s")
+        o_ev, n_ev = orow.get("events_processed"), nrow.get("events_processed")
         entry["wall_ratio"] = round(n_w / o_w, 4) if o_w and n_w else None
+        if metric == "wall":
+            entry["speedup"] = round(o_w / n_w, 4) if o_w and n_w else None
+        elif metric == "heap":
+            entry["speedup"] = round(o_ev / n_ev, 4) if o_ev and n_ev else None
+        else:
+            entry["speedup"] = (
+                round(n_eps / o_eps, 4) if o_eps and n_eps else None)
         matched.append(entry)
     matched.sort(key=lambda e: (e["experiment"] or "", e["scheme"] or "",
                                 str(e["seed"]), _job_key(e)))
@@ -261,8 +341,11 @@ def compare_reports(
         geomean = round(math.exp(log_sum / len(speedups)), 4)
     passed = True
     if threshold is not None:
-        passed = worst is not None and worst >= threshold
+        gated = worst if gate == "worst" else geomean
+        passed = gated is not None and gated >= threshold
     return {
+        "metric": metric,
+        "gate": gate,
         "n_matched": len(matched),
         "n_old_only": len(set(old_rows) - set(new_rows)),
         "n_new_only": len(set(new_rows) - set(old_rows)),

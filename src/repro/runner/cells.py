@@ -7,6 +7,7 @@ caching, crash isolation, timeouts — can be exercised in milliseconds.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict
 
@@ -27,6 +28,21 @@ def hanging_cell(sleep_s: float = 3600.0, seed: int = 0) -> Dict[str, Any]:
     """Sleeps (nominally) forever — exercises the per-job timeout."""
     time.sleep(sleep_s)
     return {"slept": sleep_s, "events_processed": 0}
+
+
+def pid_cell(seed: int = 0) -> Dict[str, Any]:
+    """Report the executing PID — proves workers persist across jobs."""
+    return {"pid": os.getpid(), "seed": seed, "events_processed": 1}
+
+
+def dying_cell(exit_code: int = 7, seed: int = 0) -> Dict[str, Any]:
+    """Kill the worker process outright (no exception, no cleanup).
+
+    ``os._exit`` bypasses the worker's try/except, simulating a
+    segfault or OOM kill — exercises respawn-on-crash.
+    """
+    os._exit(exit_code)
+    return {}  # pragma: no cover - unreachable
 
 
 def spin_cell(n: int = 200_000, seed: int = 0) -> Dict[str, Any]:

@@ -1,18 +1,26 @@
 """Spawn-safe parallel execution of experiment job grids.
 
-``ParallelRunner`` fans :class:`~repro.runner.job.Job` cells out over
-``multiprocessing`` (one process per job, at most ``jobs`` in flight)
-and returns results in **submission order** regardless of completion
-order, so a parallel sweep is byte-identical to a serial one.  Each
-job runs in its own process: a crash or divergence is reported as a
-failed :class:`JobResult` without aborting sibling jobs, and a per-job
-timeout terminates runaways.  ``jobs=1`` executes in-process — no
-subprocesses at all — which keeps debuggers, profilers, and coverage
+``ParallelRunner`` fans :class:`~repro.runner.job.Job` cells out over a
+pool of **persistent** ``multiprocessing`` workers (at most ``jobs`` of
+them) and returns results in **submission order** regardless of
+completion order, so a parallel sweep is byte-identical to a serial
+one.  Each worker is spawned once and then fed jobs over a duplex pipe
+— interpreter start-up and ``repro`` import costs are paid per worker,
+not per cell, which matters for grids of hundreds of sub-second cells.
+
+Isolation still holds: a cell that raises reports a failed
+:class:`JobResult` and the worker lives on; a worker that *dies*
+(segfault, ``os._exit``, OOM kill) fails only the cell it was running
+and is respawned before the next dispatch; a per-job timeout terminates
+the runaway's worker and respawns it.  ``jobs=1`` executes in-process —
+no subprocesses at all — which keeps debuggers, profilers, and coverage
 tooling usable.
 
-The spawn start method is used everywhere (fork is unsafe with
-threads and unavailable on some platforms); jobs and payloads are
-plain picklable data, never closures.
+The spawn start method is used everywhere (fork is unsafe with threads
+and unavailable on some platforms); jobs and payloads are plain
+picklable data, never closures.  Spawned workers inherit the parent's
+environment, so process-wide toggles (``REPRO_PROBE_TRANSIT``,
+``REPRO_CODE_VERSION``) apply to every cell of a sweep.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import os
 import time
 import traceback
 from multiprocessing.connection import wait as connection_wait
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.runner.cache import ResultCache
 from repro.runner.job import Job, JobResult, timed_execute
@@ -37,15 +45,66 @@ def default_jobs() -> int:
         return 1
 
 
-def _child_main(conn, job: Job) -> None:
-    """Worker body: run one job, ship the outcome over the pipe."""
+def _worker_main(conn) -> None:
+    """Persistent worker body: serve jobs until the ``None`` sentinel.
+
+    Messages in: ``(index, job)`` tuples.  Messages out:
+    ``(index, "ok", payload, wall_s)`` or ``(index, "error", tb)``.
+    A raising cell is an answered request, not a dead worker.
+    """
     try:
-        payload, wall = timed_execute(job)
-        conn.send(("ok", payload, wall))
-    except BaseException:
-        conn.send(("error", traceback.format_exc()))
+        while True:
+            request = conn.recv()
+            if request is None:
+                break
+            index, job = request
+            try:
+                payload, wall = timed_execute(job)
+                conn.send((index, "ok", payload, wall))
+            except BaseException:
+                conn.send((index, "error", traceback.format_exc()))
+    except (EOFError, OSError):  # parent went away - nothing to report to
+        pass
     finally:
         conn.close()
+
+
+class _Worker:
+    """One live worker process plus its pipe and current assignment."""
+
+    __slots__ = ("proc", "conn", "index", "started")
+
+    def __init__(self, ctx) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.index: Optional[int] = None  # job index in flight, if any
+        self.started = 0.0
+
+    def dispatch(self, index: int, job: Job) -> None:
+        self.index = index
+        self.started = time.perf_counter()
+        self.conn.send((index, job))
+
+    def stop(self, graceful: bool = True) -> None:
+        if graceful and not self.proc.is_alive():
+            graceful = False
+        if graceful:
+            try:
+                self.conn.send(None)
+            except (BrokenPipeError, OSError):
+                graceful = False
+        self.conn.close()
+        if graceful:
+            self.proc.join(timeout=5)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+        if self.proc.is_alive():  # pragma: no cover - defensive
+            self.proc.kill()
+            self.proc.join()
 
 
 class ParallelRunner:
@@ -62,6 +121,8 @@ class ParallelRunner:
         self.timeout_s = timeout_s
         self.cache = cache
         self.poll_interval_s = poll_interval_s
+        # Workers respawned after a crash or timeout, for tests/reporting.
+        self.respawns = 0
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> List[JobResult]:
@@ -136,78 +197,79 @@ class ParallelRunner:
     ) -> None:
         ctx = multiprocessing.get_context("spawn")
         queue = list(todo)
-        active: Dict[int, dict] = {}
+        pool: List[_Worker] = [
+            _Worker(ctx) for _ in range(min(self.jobs, len(queue)))
+        ]
 
-        def launch(index: int) -> None:
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_child_main, args=(child_conn, jobs[index]), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            active[index] = {
-                "proc": proc,
-                "conn": parent_conn,
-                "started": time.perf_counter(),
-            }
-
-        def finish(index: int, result: JobResult) -> None:
-            entry = active.pop(index)
-            entry["conn"].close()
-            entry["proc"].join(timeout=5)
-            if entry["proc"].is_alive():  # pragma: no cover - defensive
-                entry["proc"].kill()
-                entry["proc"].join()
+        def finish(worker: _Worker, result: JobResult) -> None:
+            worker.index = None
             self._store(result)
-            results[index] = result
+            results[result.index] = result
+
+        def replace(worker: _Worker) -> None:
+            """Swap a dead/terminated worker for a fresh one in place."""
+            worker.conn.close()
+            worker.proc.join(timeout=5)
+            if worker.proc.is_alive():  # pragma: no cover - defensive
+                worker.proc.kill()
+                worker.proc.join()
+            self.respawns += 1
+            pool[pool.index(worker)] = _Worker(ctx)
 
         try:
-            while queue or active:
-                while queue and len(active) < self.jobs:
-                    launch(queue.pop(0))
+            while queue or any(w.index is not None for w in pool):
+                # Dispatch to every idle worker first.
+                for worker in pool:
+                    if worker.index is None and queue:
+                        index = queue.pop(0)
+                        worker.dispatch(index, jobs[index])
 
-                conn_to_index = {entry["conn"]: idx for idx, entry in active.items()}
-                ready = connection_wait(
-                    list(conn_to_index), timeout=self.poll_interval_s
-                )
+                busy = {w.conn: w for w in pool if w.index is not None}
+                if not busy:
+                    continue
+                ready = connection_wait(list(busy), timeout=self.poll_interval_s)
                 for conn in ready:
-                    index = conn_to_index[conn]
+                    worker = busy[conn]
+                    index = worker.index
                     job = jobs[index]
                     try:
                         message = conn.recv()
                     except (EOFError, OSError):
-                        # Worker died before reporting (segfault, OOM kill).
-                        proc = active[index]["proc"]
-                        proc.join(timeout=5)
-                        finish(index, JobResult(
+                        # Worker died mid-job (segfault, os._exit, OOM
+                        # kill): fail this cell only and respawn.
+                        exitcode = worker.proc.exitcode
+                        finish(worker, JobResult(
                             index=index, job=job, ok=False,
-                            error=f"worker crashed (exit code {proc.exitcode})",
-                            wall_s=time.perf_counter() - active[index]["started"],
+                            error=f"worker crashed (exit code {exitcode})",
+                            wall_s=time.perf_counter() - worker.started,
                         ))
+                        replace(worker)
                         continue
-                    if message[0] == "ok":
-                        _, payload, wall = message
-                        finish(index, JobResult(index=index, job=job, ok=True,
-                                                payload=payload, wall_s=wall))
+                    if message[1] == "ok":
+                        _, _, payload, wall = message
+                        finish(worker, JobResult(index=index, job=job, ok=True,
+                                                 payload=payload, wall_s=wall))
                     else:
-                        finish(index, JobResult(index=index, job=job, ok=False,
-                                                error=message[1]))
+                        finish(worker, JobResult(index=index, job=job, ok=False,
+                                                 error=message[2]))
 
                 if self.timeout_s is not None:
                     now = time.perf_counter()
-                    for index in list(active):
-                        elapsed = now - active[index]["started"]
+                    for worker in pool:
+                        if worker.index is None:
+                            continue
+                        elapsed = now - worker.started
                         if elapsed <= self.timeout_s:
                             continue
-                        entry = active[index]
-                        entry["proc"].terminate()
-                        finish(index, JobResult(
+                        index = worker.index
+                        worker.proc.terminate()
+                        finish(worker, JobResult(
                             index=index, job=jobs[index], ok=False,
                             error=f"timeout after {elapsed:.2f}s "
                                   f"(limit {self.timeout_s}s)",
                             wall_s=elapsed,
                         ))
+                        replace(worker)
         finally:
-            for entry in active.values():  # pragma: no cover - defensive
-                entry["proc"].terminate()
-                entry["proc"].join(timeout=5)
+            for worker in pool:
+                worker.stop()

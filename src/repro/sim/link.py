@@ -47,6 +47,7 @@ class Link:
         "peak_queue",
         "core_agent",
         "failed",
+        "_pending",
     )
 
     def __init__(
@@ -73,11 +74,36 @@ class Link:
         # Optional uFAB-C agent attached to this egress port.
         self.core_agent = None
         self.failed = False
+        # Pending-emission ledger for the flat probe-transit fast path
+        # (see repro.sim.network).  Entries are kept sorted by
+        # (time, transit seq); any state read that would observe the
+        # link at or past an entry's emission time flushes it first, so
+        # the per-link sequence of integration points — and therefore
+        # every delivered_bits/queue trajectory — is bit-identical to
+        # simulating each emission as its own event.
+        self._pending = []
 
     # ------------------------------------------------------------------
     # Queue evolution
     # ------------------------------------------------------------------
     def sync(self, now: float) -> None:
+        """Bring the link up to date at ``now``.
+
+        Flushes any pending fast-path emissions strictly before ``now``
+        (same-instant entries are deferred: in per-hop simulation their
+        events would pop later within the instant), then integrates the
+        fluid queue to ``now``.
+        """
+        pending = self._pending
+        if pending and pending[0].t < now:
+            # Head check inlined: entries are (t, seq)-sorted and seq is
+            # always positive, so the strict pre-``now`` flush has work
+            # to do only when the head's emission time is in the past.
+            self._flush_upto(now, 0)
+        if now > self._last_sync:
+            self._integrate(now)
+
+    def _integrate(self, now: float) -> None:
         """Integrate queue evolution from the last sync point to ``now``.
 
         The saturated/unsaturated split makes ``served`` directly:
@@ -112,10 +138,46 @@ class Link:
             self.peak_queue = self.queue
         self._last_sync = now
 
+    def _flush_upto(self, t: float, seq: int) -> None:
+        """Apply pending fast-path emissions up to and including (t, seq).
+
+        Each entry integrates the link to its emission time and then
+        fires its hop work (stamp / register update) — exactly the state
+        transitions the per-hop event would have performed, in the same
+        (time, seq) order.  ``seq`` 0 gives the strict pre-``t`` flush
+        used by :meth:`sync`.
+        """
+        pending = self._pending
+        while pending:
+            entry = pending[0]
+            if entry.t > t or (entry.t == t and entry.seq > seq):
+                break
+            pending.pop(0)
+            entry.fire(self)
+
+    def flush_pending(self, now: float) -> None:
+        """Strictly flush pending emissions before ``now`` WITHOUT
+        integrating the link to ``now``.
+
+        Used by readers (core resets, sweeps) that inspect raw link
+        state — e.g. ``delivered_bits`` — without syncing: the per-hop
+        path would have applied earlier emissions by now but would not
+        have advanced the integration point.
+        """
+        if self._pending:
+            self._flush_upto(now, 0)
+
     def set_inflow(self, now: float, inflow: float) -> None:
         """Update the inflow rate, integrating the queue up to ``now`` first."""
         self.sync(now)
         self.inflow = max(0.0, inflow)
+        if self._pending and self.inflow > self.capacity:
+            # A queue is about to build under pending fast-path
+            # emissions: their precomputed traversal times (pure
+            # propagation) are no longer valid.  Kick every affected
+            # flight back to per-hop simulation from its next hop.
+            for entry in list(self._pending):
+                entry.flight.materialize(now)
 
     # ------------------------------------------------------------------
     # Observables (what uFAB-C reads and stamps into probes)

@@ -49,6 +49,9 @@ class MessageQueue:
         self._rate = 0.0
         self._served_bits = 0.0  # cumulative service since creation
         self._next_target = 0.0  # cumulative service at which head completes
+        # Running total of the *non-head* queued bytes, so backlog_bits()
+        # is O(1) instead of re-summing the deque on every fluid re-solve.
+        self._queued_bits = 0.0
         self._last_sync = 0.0
         self._completion_event: Optional[Event] = None
         self.completed: List[Message] = []
@@ -59,9 +62,7 @@ class MessageQueue:
     # ------------------------------------------------------------------
     def backlog_bits(self) -> float:
         self._advance(self._sim.now)
-        return max(0.0, self._next_target - self._served_bits) + sum(
-            m.size_bits for i, m in enumerate(self._queue) if i > 0
-        )
+        return max(0.0, self._next_target - self._served_bits) + self._queued_bits
 
     def pending(self) -> int:
         return len(self._queue)
@@ -79,6 +80,8 @@ class MessageQueue:
             self._next_target = self._served_bits + message.size_bits
             if self.on_nonempty is not None:
                 self.on_nonempty()
+        else:
+            self._queued_bits += message.size_bits
         self._reschedule()
 
     def set_rate(self, rate: float) -> None:
@@ -110,11 +113,17 @@ class MessageQueue:
             # Clamp accounting so numeric drift never banks extra service.
             self._served_bits = self._next_target
             if self._queue:
-                self._next_target += self._queue[0].size_bits
+                head = self._queue[0]
+                self._next_target += head.size_bits
+                self._queued_bits -= head.size_bits
             if self.on_complete is not None:
                 self.on_complete(msg)
-        if not self._queue and self.on_empty is not None:
-            self.on_empty()
+        if not self._queue:
+            # Pin the running total back to exactly zero so float residue
+            # from +=/-= pairs can never accumulate across busy periods.
+            self._queued_bits = 0.0
+            if self.on_empty is not None:
+                self.on_empty()
 
     def _reschedule(self) -> None:
         if self._completion_event is not None:

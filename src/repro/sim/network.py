@@ -4,12 +4,51 @@ It owns the simulator clock, coalesces fluid re-solves (many VM-pairs
 update their rates at the same instant on probe responses), moves probes
 hop by hop with real propagation and queuing delay, and records
 time-series samples for the figures.
+
+Flat probe transit (the fast path)
+----------------------------------
+At scale the event heap is dominated by probe transit: one event per
+hop per direction.  When a probe is launched onto a *calm* path — no
+interceptor installed, no failed link, every hop link at zero queue
+with inflow <= capacity — each hop's traversal delay is exactly its
+propagation delay, so every emission time is known at launch.  The fast
+path precomputes them, records one *pending-emission ledger entry* per
+hop on each link, and schedules only two events for the whole leg: one
+at the last emission instant and the arrival itself (scheduled from the
+first so its heap position matches per-hop simulation).  Ledger entries
+are applied lazily — any read that would observe a link *past* an
+entry's emission time flushes it first, integrating the fluid queue at
+exactly the same timestamps and invoking ``on_hop`` (stamps, register
+updates) in (emission-time, launch-seq) order.
+
+Per-hop legs with a *pure* ``on_hop`` stamp through the same ledgers:
+the hop event inserts an entry instead of stamping inline, so every
+stamp on a link — from fast legs, slow legs, and materialized legs
+alike — applies in one global (emission-time, launch-seq) order that
+is independent of how events interleave within an instant.  Entries
+are never applied at the instant they were inserted: flushes either
+use a strictly earlier bound or run at a later instant, after every
+same-instant insertion has happened.  This is what makes results
+bit-identical between the two transit modes.
+
+Turbulence — an interceptor being installed, a link or node failing or
+recovering, or a pending link's inflow exceeding capacity — bumps
+``turbulence_epoch`` and *materializes* in-flight fast legs: already-due
+emissions are flushed, future ledger entries are withdrawn, and the
+flight resumes on the per-hop slow path at its exact precomputed next
+emission time, re-checking failure and interception per hop.  Fault
+semantics are therefore preserved exactly; the fast path is purely an
+event-count optimization.  Set ``REPRO_PROBE_TRANSIT=slow`` to disable
+it globally (the equivalence suite runs every experiment both ways).
 """
 
 from __future__ import annotations
 
+import os
+from bisect import insort
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs import OBS
 from repro.sim.engine import Event, Simulator
 from repro.sim.fluid import FluidSolver
 from repro.sim.host import Host, VMPair
@@ -17,12 +56,31 @@ from repro.sim.link import Link
 from repro.sim.link import path_delay as _path_delay
 from repro.sim.topology import Path, Topology
 
+_M_FASTPATH = OBS.metrics.counter(
+    "engine.probe_fastpath", unit="legs",
+    site="repro/sim/network.py:Network.send_probe",
+    desc="Probe legs launched on the flat-transit fast path (single "
+         "arrival event instead of one event per hop).")
+
+# Below this simulated time a CoreAgent TX meter may still be in its
+# virgin state, where a stamp reads the *instantaneous* link inflow —
+# a value that cannot be replayed later.  Stamped legs launched earlier
+# than this stay on the per-hop path.
+_METER_SAFE_T = 5e-6
+
+# Cap on each object freelist (probes, flights, ledger entries).
+_POOL_MAX = 1024
+
 
 class Probe:
     """An in-flight control packet (probe, response, or finish probe).
 
     Concrete header contents (INT records, tokens, windows) live in
     :mod:`repro.core.probe`; the network layer only needs hop callbacks.
+
+    Arrived probes are pooled: the object handed to ``on_arrive`` (and
+    returned by ``send_probe``) must not be retained past the arrival
+    callback.  Dropped probes are never recycled and may be kept.
     """
 
     __slots__ = ("payload", "sent_at", "hops_taken", "dropped")
@@ -32,6 +90,151 @@ class Probe:
         self.sent_at = sent_at
         self.hops_taken = 0
         self.dropped = False
+
+
+class _TransitEntry:
+    """One pending fast-path emission: probe ``flight`` enters hop
+    ``hop``'s link at time ``t``.  Lives in the link's sorted ledger
+    until applied (``fire``) or withdrawn by materialization."""
+
+    __slots__ = ("t", "seq", "flight", "hop", "link", "applied")
+
+    def __lt__(self, other: "_TransitEntry") -> bool:
+        return (self.t, self.seq) < (other.t, other.seq)
+
+    def fire(self, link: Link) -> None:
+        """Perform the stamp the per-hop event would have done at
+        (t, seq): integrate the link to the emission instant, then stamp.
+        Entries exist only for legs with an ``on_hop``."""
+        self.applied = True
+        flight = self.flight
+        flight.ensure_prior(self.hop)
+        link._integrate(self.t)
+        flight.on_hop(flight.probe.payload, link, self.t)
+
+
+class _Flight:
+    """Transit state for one probe leg (either path).
+
+    Pooled per network; holds the hop list, per-hop ledger entries and
+    precomputed emission times when on the fast path, and the pending
+    helper/arrival events so turbulence can cancel them.
+    """
+
+    __slots__ = ("network", "probe", "hops", "on_hop", "on_arrive", "on_drop",
+                 "seq", "pure", "entries", "times", "t_arr", "ev_pre",
+                 "ev_arr", "fast", "done")
+
+    def __init__(self) -> None:
+        self.network = None
+        self.probe = None
+        self.hops: tuple = ()
+        self.on_hop = None
+        self.on_arrive = None
+        self.on_drop = None
+        self.seq = 0
+        self.pure = False
+        self.entries: list = []
+        self.times: list = []
+        self.t_arr = 0.0
+        self.ev_pre: Optional[Event] = None
+        self.ev_arr: Optional[Event] = None
+        self.fast = False
+        self.done = False
+
+    def ensure_prior(self, hop: int) -> None:
+        """Apply this flight's earlier-hop entries before a later one.
+
+        A touch on hop j's link may flush entry j while an earlier hop's
+        link is still untouched; stamping out of path order would record
+        ``header.hops`` in the wrong sequence.  Recursion terminates:
+        earlier entries carry strictly earlier times.
+        """
+        for entry in self.entries:
+            if entry.hop >= hop:
+                break
+            if not entry.applied:
+                entry.link._flush_upto(entry.t, entry.seq)
+
+    def flush_own(self) -> None:
+        """Apply every still-pending entry of this flight, in hop order.
+
+        Called at arrival/drop (all emission times are then strictly in
+        the past) so ``header.hops`` is complete before the callback.
+        """
+        for entry in self.entries:
+            if not entry.applied:
+                entry.link._flush_upto(entry.t, entry.seq)
+
+    def materialize(self, now: float) -> None:
+        """Fall back to per-hop simulation after a turbulence event.
+
+        Emissions already due are flushed in ledger order; future
+        entries are withdrawn from their links, and the flight resumes
+        on the slow path at its exact precomputed next emission time —
+        where failure flags and the interceptor are re-checked per hop,
+        matching per-hop semantics under mid-flight faults.
+        """
+        if self.done or not self.fast:
+            return
+        self.fast = False
+        net = self.network
+        net._fast_flights.pop(self.seq, None)
+        net.fastpath_materialized += 1
+        if self.ev_pre is not None:
+            self.ev_pre.cancel()
+            self.ev_pre = None
+        if self.ev_arr is not None:
+            self.ev_arr.cancel()
+            self.ev_arr = None
+        resume = -1
+        times = self.times
+        if self.entries:
+            entries = self.entries
+            for idx, entry in enumerate(entries):
+                if entry.applied:
+                    continue
+                if entry.t < now:
+                    # Was due strictly before the turbulence instant:
+                    # apply with calm-path semantics (valid up to now).
+                    entry.link._flush_upto(entry.t, entry.seq)
+                    continue
+                resume = idx
+                break
+            if resume >= 0:
+                # Withdraw the not-yet-due entries; the slow path will
+                # re-insert each stamp at its actual emission instant
+                # (same (t, seq) when calm, later under queueing).
+                efree = net._entry_free
+                for entry in entries[resume:]:
+                    try:
+                        entry.link._pending.remove(entry)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    entry.flight = None
+                    entry.link = None
+                    if len(efree) < _POOL_MAX:
+                        efree.append(entry)
+                del entries[resume:]
+        else:
+            # No stamps on this leg: resume at the first emission that
+            # has not strictly happened yet.
+            for idx, t in enumerate(times):
+                if t >= now:
+                    resume = idx
+                    break
+        if resume < 0:
+            # Every emission already happened; only the arrival remains
+            # (the probe is past its last switch — failures can no
+            # longer touch it, exactly as in per-hop simulation).
+            self.probe.hops_taken = len(self.hops)
+            net.sim.at(self.t_arr, net._transit_step, self, len(self.hops))
+            return
+        # Hops with emissions at exactly `now` replay on the slow path:
+        # the turbulence event (a fault, installed at t=0 with a low
+        # event seq) beat them to the switch, just as in per-hop mode.
+        self.probe.hops_taken = resume
+        net.sim.at(times[resume], net._transit_step, self, resume)
 
 
 class Network:
@@ -56,8 +259,21 @@ class Network:
         # Fault-plane hook (repro.faults): when set, called as
         # fn(probe, link) for every hop of every probe.  Returns extra
         # per-hop delay in seconds, or None to drop the probe.  None
-        # (the default) keeps the hop path allocation-free.
-        self.probe_interceptor: Optional[Callable[[Probe, Link], Optional[float]]] = None
+        # (the default) keeps the hop path allocation-free.  Exposed as
+        # a property: installing/removing an interceptor is a
+        # turbulence event that materializes in-flight fast legs.
+        self._probe_interceptor: Optional[Callable[[Probe, Link], Optional[float]]] = None
+        # Flat-transit state (see module docstring).  The env toggle is
+        # read once per network so spawned runner workers inherit it.
+        self._transit_fast = os.environ.get("REPRO_PROBE_TRANSIT", "fast") != "slow"
+        self._transit_seq = 0
+        self._fast_flights: Dict[int, _Flight] = {}
+        self.turbulence_epoch = 0
+        self.fastpath_legs = 0
+        self.fastpath_materialized = 0
+        self._probe_free: List[Probe] = []
+        self._flight_free: List[_Flight] = []
+        self._entry_free: List[_TransitEntry] = []
         # Per-pair delivered-rate listeners (message queues, meters).
         self._rate_listeners: Dict[str, List[Callable[[float], None]]] = {}
         # Time series: pair_id -> [(t, delivered_rate)] if sampling enabled.
@@ -198,6 +414,30 @@ class Network:
     # ------------------------------------------------------------------
     # Probe transit
     # ------------------------------------------------------------------
+    @property
+    def probe_interceptor(self) -> Optional[Callable[[Probe, Link], Optional[float]]]:
+        return self._probe_interceptor
+
+    @probe_interceptor.setter
+    def probe_interceptor(self, fn: Optional[Callable[[Probe, Link], Optional[float]]]) -> None:
+        if fn is not self._probe_interceptor:
+            self._probe_interceptor = fn
+            self.on_turbulence()
+
+    def on_turbulence(self) -> None:
+        """A calm-path assumption just broke somewhere in the fabric.
+
+        Bumps the epoch and kicks every in-flight fast leg back to
+        per-hop simulation (each re-checks failure/interception at its
+        remaining hops).  Called on interceptor install/remove, link and
+        node fail/recover, and by the fault injector's direct flips.
+        """
+        self.turbulence_epoch += 1
+        if self._fast_flights:
+            now = self.sim.now
+            for flight in list(self._fast_flights.values()):
+                flight.materialize(now)
+
     def send_probe(
         self,
         path: Sequence[Link],
@@ -206,44 +446,210 @@ class Network:
         on_arrive: Optional[Callable[[Probe, float], None]] = None,
         on_drop: Optional[Callable[[Probe], None]] = None,
         host_delay: float = 0.0,
+        pure_hop: bool = False,
     ) -> Probe:
         """Launch a probe along ``path``; callbacks fire in simulated time.
 
         ``on_hop(payload, link, now)`` runs as the probe is emitted onto
         each link (where uFAB-C stamps INT).  ``on_arrive(probe, now)``
         runs at the far end.  A probe entering a failed link is dropped.
-        """
-        probe = Probe(payload, self.sim.now)
-        hops = list(path)
 
-        def traverse(index: int) -> None:
-            if index >= len(hops):
-                if on_arrive is not None:
-                    on_arrive(probe, self.sim.now)
-                return
-            link = hops[index]
-            if link.failed:
+        ``pure_hop`` declares that ``on_hop`` reads only time-indexed
+        link state and per-agent stamp state (true for uFAB INT stamps),
+        making it safe to apply deferred from the pending-emission
+        ledger.  Legs with an impure ``on_hop`` (e.g. baselines sampling
+        instantaneous utilization) always take the per-hop path.
+        """
+        sim = self.sim
+        now = sim.now
+        free = self._probe_free
+        if free:
+            probe = free.pop()
+            probe.payload = payload
+            probe.sent_at = now
+            probe.hops_taken = 0
+            probe.dropped = False
+            sim.note_pool_reuse()
+        else:
+            probe = Probe(payload, now)
+        hops = tuple(path)
+        flight = self._new_flight(probe, hops, on_hop, on_arrive, on_drop)
+        flight.pure = on_hop is None or pure_hop
+        if (self._transit_fast and hops
+                and self._probe_interceptor is None
+                and (on_hop is None or (pure_hop and now >= _METER_SAFE_T))):
+            t = now + host_delay
+            times = flight.times
+            for link in hops:
+                # Stale ``queue`` is safe: with inflow <= capacity it can
+                # only have drained since the last sync, and 0 stays 0.
+                if (link.failed or link.queue != 0.0
+                        or link.inflow > link.capacity or link.prop_delay <= 0.0):
+                    del times[:]
+                    break
+                times.append(t)
+                t += link.prop_delay
+            else:
+                self._launch_fast(flight, t)
+                return probe
+        flight.fast = False
+        sim.schedule_transient(host_delay, self._transit_step, flight, 0)
+        return probe
+
+    def _launch_fast(self, flight: _Flight, t_arr: float) -> None:
+        """Install ledger entries for every hop and schedule the leg's
+        two events: a helper at the last emission instant and (from it)
+        the arrival — giving the arrival the same heap birth instant as
+        per-hop simulation, which keeps same-instant tie-breaks stable."""
+        flight.fast = True
+        flight.t_arr = t_arr
+        if flight.on_hop is not None:
+            times = flight.times
+            for hop, link in enumerate(flight.hops):
+                self._add_entry(flight, hop, link, times[hop])
+        flight.ev_pre = self.sim.at_transient(
+            flight.times[-1], self._transit_prearrive, flight)
+        self._fast_flights[flight.seq] = flight
+        self.fastpath_legs += 1
+        if OBS.enabled:
+            _M_FASTPATH.inc()
+
+    def _transit_prearrive(self, flight: _Flight) -> None:
+        """Fires at the leg's last emission instant, purely to schedule
+        the arrival one propagation delay out — giving the arrival event
+        the same heap birth instant (and so the same same-instant
+        tie-breaks) as per-hop simulation.  At zero queue ``link.delay``
+        is exactly ``prop_delay``, so the arithmetic matches too.
+        Pending stamps are left in the ledgers; the arrival flushes
+        them (their emission instants are strictly earlier than it)."""
+        flight.ev_pre = None
+        flight.ev_arr = self.sim.schedule_transient(
+            flight.hops[-1].prop_delay, self._transit_step, flight, len(flight.hops))
+
+    def _transit_step(self, flight: _Flight, index: int) -> None:
+        """Per-hop transit: one event per hop (the slow path), shared by
+        plain slow legs, materialized fast legs resuming mid-path, and
+        every leg's final arrival."""
+        sim = self.sim
+        now = sim.now
+        hops = flight.hops
+        probe = flight.probe
+        if index >= len(hops):
+            flight.done = True
+            if flight.fast:
+                self._fast_flights.pop(flight.seq, None)
+                flight.ev_arr = None
+                probe.hops_taken = len(hops)
+            flight.flush_own()
+            on_arrive = flight.on_arrive
+            self._release_flight(flight)
+            if on_arrive is not None:
+                on_arrive(probe, now)
+            self._release_probe(probe)
+            return
+        link = hops[index]
+        if link.failed:
+            probe.dropped = True
+            flight.done = True
+            flight.flush_own()
+            on_drop = flight.on_drop
+            self._release_flight(flight)
+            if on_drop is not None:
+                on_drop(probe)
+            return
+        extra = 0.0
+        interceptor = self._probe_interceptor
+        if interceptor is not None:
+            verdict = interceptor(probe, link)
+            if verdict is None:
                 probe.dropped = True
+                flight.done = True
+                flight.flush_own()
+                on_drop = flight.on_drop
+                self._release_flight(flight)
                 if on_drop is not None:
                     on_drop(probe)
                 return
-            extra = 0.0
-            interceptor = self.probe_interceptor
-            if interceptor is not None:
-                verdict = interceptor(probe, link)
-                if verdict is None:
-                    probe.dropped = True
-                    if on_drop is not None:
-                        on_drop(probe)
-                    return
-                extra = verdict
-            if on_hop is not None:
-                on_hop(payload, link, self.sim.now)
-            probe.hops_taken += 1
-            self.sim.schedule(link.delay(self.sim.now) + extra, traverse, index + 1)
+            extra = verdict
+        on_hop = flight.on_hop
+        if on_hop is not None:
+            if flight.pure:
+                # Stamp through the link's ledger so same-instant stamps
+                # from fast and slow legs apply in one global
+                # (emission-time, launch-seq) order, independent of how
+                # events interleaved within this instant.
+                self._add_entry(flight, index, link, now)
+            else:
+                on_hop(probe.payload, link, now)
+        probe.hops_taken += 1
+        sim.schedule_transient(link.delay(now) + extra, self._transit_step, flight, index + 1)
 
-        self.sim.schedule(host_delay, traverse, 0)
-        return probe
+    def _add_entry(self, flight: _Flight, hop: int, link: Link, t: float) -> None:
+        efree = self._entry_free
+        if efree:
+            entry = efree.pop()
+        else:
+            entry = _TransitEntry()
+        entry.t = t
+        entry.seq = flight.seq
+        entry.flight = flight
+        entry.hop = hop
+        entry.link = link
+        entry.applied = False
+        flight.entries.append(entry)
+        insort(link._pending, entry)
+
+    # -- transit object pools ------------------------------------------
+    def _new_flight(self, probe, hops, on_hop, on_arrive, on_drop) -> _Flight:
+        free = self._flight_free
+        if free:
+            flight = free.pop()
+            self.sim.note_pool_reuse()
+        else:
+            flight = _Flight()
+        flight.network = self
+        flight.probe = probe
+        flight.hops = hops
+        flight.on_hop = on_hop
+        flight.on_arrive = on_arrive
+        flight.on_drop = on_drop
+        flight.done = False
+        flight.fast = False
+        self._transit_seq += 1
+        flight.seq = self._transit_seq
+        return flight
+
+    def _release_flight(self, flight: _Flight) -> None:
+        entries = flight.entries
+        if entries:
+            efree = self._entry_free
+            for entry in entries:
+                entry.flight = None
+                entry.link = None
+                if len(efree) < _POOL_MAX:
+                    efree.append(entry)
+            del entries[:]
+        del flight.times[:]
+        flight.probe = None
+        flight.hops = ()
+        flight.on_hop = None
+        flight.on_arrive = None
+        flight.on_drop = None
+        flight.ev_pre = None
+        flight.ev_arr = None
+        free = self._flight_free
+        if len(free) < _POOL_MAX:
+            free.append(flight)
+
+    def _release_probe(self, probe: Probe) -> None:
+        # Dropped probes are retained by callers (loss bookkeeping);
+        # only clean arrivals recycle.
+        if probe.dropped:
+            return
+        probe.payload = None
+        free = self._probe_free
+        if len(free) < _POOL_MAX:
+            free.append(probe)
 
     def path_delay(self, path: Sequence[Link]) -> float:
         """Instantaneous one-way delay along ``path`` (prop + queuing)."""
@@ -262,6 +668,7 @@ class Network:
         for link in self.topology.links.values():
             if link.src == name or link.dst == name:
                 link.failed = True
+        self.on_turbulence()
         # Flipping link.failed changes effective inflows behind the
         # solver's back; force the next resolve to be a full one.
         self.solver.invalidate()
@@ -272,16 +679,19 @@ class Network:
         for link in self.topology.links.values():
             if link.src == name or link.dst == name:
                 link.failed = False
+        self.on_turbulence()
         self.solver.invalidate()
         self.request_resolve()
 
     def fail_link(self, src: str, dst: str) -> None:
         self.topology.link(src, dst).failed = True
+        self.on_turbulence()
         self.solver.invalidate()
         self.request_resolve()
 
     def recover_link(self, src: str, dst: str) -> None:
         self.topology.link(src, dst).failed = False
+        self.on_turbulence()
         self.solver.invalidate()
         self.request_resolve()
 

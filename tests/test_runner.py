@@ -24,6 +24,8 @@ from repro.runner import (
 ECHO = "repro.runner.cells:echo_cell"
 FAIL = "repro.runner.cells:failing_cell"
 HANG = "repro.runner.cells:hanging_cell"
+PID = "repro.runner.cells:pid_cell"
+DIE = "repro.runner.cells:dying_cell"
 
 
 def _echo_jobs(n=4, sleep_s=0.0):
@@ -133,6 +135,46 @@ def test_timeout_kills_runaway_without_aborting_siblings():
     results = ParallelRunner(jobs=2, timeout_s=1.0).run(jobs)
     assert not results[0].ok and "timeout" in results[0].error
     assert results[1].ok
+
+
+def test_workers_persist_across_jobs():
+    # 8 jobs over 2 workers: each worker serves several jobs without
+    # being torn down, so distinct PIDs number at most the pool size.
+    jobs = [Job("smoke", PID, scheme=f"s{i}", seed=i, params={"seed": i})
+            for i in range(8)]
+    runner = ParallelRunner(jobs=2)
+    results = runner.run(jobs)
+    assert all(r.ok for r in results)
+    pids = {r.payload["pid"] for r in results}
+    assert 1 <= len(pids) <= 2
+    assert runner.respawns == 0
+
+
+def test_worker_crash_fails_only_its_job_and_respawns():
+    # Job 1 hard-kills its worker (os._exit, no exception); the pool
+    # must report that one cell failed, respawn, and finish the rest.
+    jobs = _echo_jobs(4)
+    jobs.insert(1, Job("smoke", DIE, scheme="dead", params={"exit_code": 3}))
+    runner = ParallelRunner(jobs=2)
+    results = runner.run(jobs)
+    assert [r.ok for r in results] == [True, False, True, True, True]
+    assert "worker crashed" in results[1].error
+    assert runner.respawns >= 1
+
+
+def test_timeout_respawns_worker_for_remaining_jobs():
+    # One hang among many short jobs, pool of 2: after the hang is
+    # terminated its replacement must pick up the remaining queue.
+    # The limit must beat the hang but leave slack for a fresh worker's
+    # spawn + import on a loaded machine — 0.5s flakes under parallel
+    # test runs.
+    jobs = [Job("smoke", HANG, scheme="hang", params={"sleep_s": 60})]
+    jobs += _echo_jobs(5)
+    runner = ParallelRunner(jobs=2, timeout_s=3.0)
+    results = runner.run(jobs)
+    assert not results[0].ok and "timeout" in results[0].error
+    assert all(r.ok for r in results[1:])
+    assert runner.respawns >= 1
 
 
 # ----------------------------------------------------------------------
@@ -287,6 +329,65 @@ def test_compare_reports_threshold_gates_on_worst_cell():
     # Great geomean, but pwc regressed to 0.9x: the worst cell decides.
     assert compare_reports(old, new, threshold=1.0)["passed"] is False
     assert compare_reports(old, new, threshold=0.85)["passed"] is True
+
+
+def test_compare_reports_wall_metric_and_geomean_gate():
+    # A transit-mode A/B: the fast path processes *fewer* events, so
+    # events/sec drops while wall time improves 2x and 1.25x.
+    old = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 1000.0, "wall_s": 1.0},
+        {"scheme": "ufab", "seed": 2, "events_per_sec": 1000.0, "wall_s": 1.0},
+    ])
+    new = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 400.0, "wall_s": 0.5},
+        {"scheme": "ufab", "seed": 2, "events_per_sec": 500.0, "wall_s": 0.8},
+    ])
+    diff = compare_reports(old, new, metric="wall")
+    assert diff["metric"] == "wall"
+    assert sorted(c["speedup"] for c in diff["cells"]) == [1.25, 2.0]
+    assert diff["geomean_speedup"] == pytest.approx(1.5811, abs=1e-3)
+    # geomean ~1.58 passes a 1.5 gate; the worst cell (1.25) would not.
+    assert compare_reports(old, new, metric="wall", gate="geomean",
+                           threshold=1.5)["passed"] is True
+    assert compare_reports(old, new, metric="wall", gate="worst",
+                           threshold=1.5)["passed"] is False
+
+
+def test_compare_reports_heap_metric_counts_deleted_events():
+    # Heap metric: total events for the same work, old/new — the flat
+    # transit path deletes per-hop events, so slow/fast = 4x here even
+    # though wall barely moves.
+    old = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 1000.0,
+         "wall_s": 1.0, "events_processed": 4000},
+        {"scheme": "ufab", "seed": 2, "events_per_sec": 1000.0,
+         "wall_s": 1.0, "events_processed": 6000},
+    ])
+    new = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 1100.0,
+         "wall_s": 0.9, "events_processed": 1000},
+        {"scheme": "ufab", "seed": 2, "events_per_sec": 1100.0,
+         "wall_s": 0.9, "events_processed": 2000},
+    ])
+    diff = compare_reports(old, new, metric="heap", gate="geomean",
+                           threshold=1.5)
+    assert diff["metric"] == "heap"
+    assert sorted(c["speedup"] for c in diff["cells"]) == [3.0, 4.0]
+    assert diff["geomean_speedup"] == pytest.approx(12 ** 0.5, abs=1e-3)
+    assert diff["passed"] is True
+    cell = diff["cells"][0]
+    assert cell["old_events"] in (4000, 6000)
+    assert cell["new_events"] in (1000, 2000)
+    with pytest.raises(ValueError):
+        compare_reports(old, new, metric="latency")
+
+
+def test_run_bench_transit_pins_env_and_restores(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_PROBE_TRANSIT", raising=False)
+    report = run_bench(grid="smoke", jobs=1, use_cache=False,
+                       out=str(tmp_path / "b.json"), transit="slow")
+    assert report["transit"] == "slow"
+    assert "REPRO_PROBE_TRANSIT" not in os.environ
 
 
 def test_compare_reports_unmatched_and_failed_rows():

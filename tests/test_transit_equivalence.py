@@ -1,0 +1,244 @@
+"""Flat probe transit must be bit-identical to per-hop transit.
+
+The fast path (``Network.send_probe`` collapsing a calm path into two
+events) is a pure event-count optimization: every experiment payload,
+hop record, and trace stream must match the per-hop reference exactly —
+not approximately — across schemes, seeds, and fault schedules that
+open and close windows mid-flight.  ``REPRO_PROBE_TRANSIT`` selects the
+mode; it is read once per :class:`~repro.sim.network.Network`, so each
+comparison builds fresh networks under each setting.
+
+Payload comparison is exact ``==`` after stripping ``events_processed``
+(the two modes process different event counts by design) and ``_obs``
+(compared separately: trace APPEND order differs because the fast path
+applies deferred stamps from per-link ledgers, but the multiset of
+records with their emission timestamps must be identical).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.spec import parse_faults
+from repro.runner.job import Job, execute_job
+from repro.sim.network import Network
+from repro.sim.topology import dumbbell, three_tier_testbed
+
+FIG11 = "repro.experiments.fig11_guarantee:cell"
+FIG12 = "repro.experiments.fig12_incast:cell"
+RESIL = "repro.experiments.fig_resilience:cell"
+
+# Fault-spec strings exercising every injector mechanism against the
+# fast path: loss/delay interceptor windows, link flaps (turbulence +
+# materialization), frozen telemetry, and mid-run restarts/resets.
+LOSS = "probe_loss:0.05"
+FLAPS = "link_flaps:mtbf=2ms,mttr=0.5ms/Agg"
+MIXED = ("probe_loss:0.02@1ms-4ms;probe_delay:20us+10us@2ms-6ms;"
+         "link_flaps:mtbf=3ms,mttr=1ms/Agg;stale:1ms@3ms-5ms;"
+         "core_reset:Core1@4ms;edge_restart:S1@5ms")
+
+
+def _run(job, transit):
+    """Execute one cell in-process under the given transit mode."""
+    old = os.environ.get("REPRO_PROBE_TRANSIT")
+    os.environ["REPRO_PROBE_TRANSIT"] = transit
+    try:
+        return execute_job(job)
+    finally:
+        if old is None:
+            del os.environ["REPRO_PROBE_TRANSIT"]
+        else:
+            os.environ["REPRO_PROBE_TRANSIT"] = old
+
+
+def _strip(payload):
+    return {k: v for k, v in payload.items()
+            if k not in ("events_processed", "_obs")}
+
+
+def _assert_equivalent(job):
+    fast = _run(job, "fast")
+    slow = _run(job, "slow")
+    assert _strip(fast) == _strip(slow)
+
+
+# ----------------------------------------------------------------------
+# Experiment-level equivalence: 20+ (experiment, seed, faults) cells
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(1, 9))
+def test_fig11_ufab_payloads_bit_identical(seed):
+    _assert_equivalent(Job(
+        "fig11", FIG11, scheme="ufab", seed=seed,
+        params={"scheme": "ufab", "duration": 0.006, "seed": seed}))
+
+
+@pytest.mark.parametrize("seed", range(1, 7))
+def test_fig12_payloads_bit_identical(seed):
+    _assert_equivalent(Job(
+        "fig12", FIG12, scheme="ufab", seed=seed,
+        params={"scheme": "ufab", "duration": 0.004, "seed": seed}))
+
+
+@pytest.mark.parametrize("seed,spec", [
+    (1, LOSS), (2, LOSS),
+    (1, FLAPS), (2, FLAPS), (3, FLAPS),
+    (1, MIXED), (2, MIXED), (3, MIXED),
+])
+def test_fig_resilience_with_faults_bit_identical(seed, spec):
+    dur = 0.008
+    faults = parse_faults(spec, horizon=dur, seed=seed).to_config()
+    _assert_equivalent(Job(
+        "fig_resilience", RESIL, scheme="ufab", seed=seed,
+        params={"scheme": "ufab", "axis": "mixed", "level": 1.0,
+                "duration": dur, "seed": seed},
+        faults=faults))
+
+
+def test_trace_streams_identical_up_to_append_order():
+    # Deferred ledger application reorders trace APPENDS between modes,
+    # but each record's timestamp is its emission time — the canonically
+    # sorted streams must match record-for-record.
+    job = Job("fig11", FIG11, scheme="ufab", seed=3,
+              params={"scheme": "ufab", "duration": 0.004, "seed": 3},
+              obs={"trace": True, "trace_capacity": 200_000})
+    fast = _run(job, "fast")
+    slow = _run(job, "slow")
+    assert _strip(fast) == _strip(slow)
+
+    def canon(payload):
+        records = payload["_obs"]["trace"]
+        return sorted(records,
+                      key=lambda r: (r[0], r[1], json.dumps(r[2], sort_keys=True)))
+
+    assert canon(fast) == canon(slow)
+
+
+# ----------------------------------------------------------------------
+# Mechanism-level checks against a bare Network
+# ----------------------------------------------------------------------
+
+def _net(monkeypatch, transit, topo=None):
+    monkeypatch.setenv("REPRO_PROBE_TRANSIT", transit)
+    return Network(topo if topo is not None else dumbbell(n_pairs=2))
+
+
+def test_fast_path_actually_engages(monkeypatch):
+    net = _net(monkeypatch, "fast")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    arrivals = []
+    for _ in range(4):
+        net.send_probe(path, None, on_arrive=lambda p, t: arrivals.append(t))
+    net.run(1.0)
+    assert len(arrivals) == 4
+    assert net.fastpath_legs == 4
+    # A flat round trip is 2 events per probe (pre-arrival + arrival)
+    # instead of hops+1; with the dumbbell's 3 hops that is visible even
+    # on four probes.
+    assert net.sim.events_processed < 4 * (len(path) + 1)
+
+
+def test_slow_mode_env_var_disables_fast_path(monkeypatch):
+    net = _net(monkeypatch, "slow")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.send_probe(path, None)
+    net.run(1.0)
+    assert net.fastpath_legs == 0
+
+
+def test_pure_hop_stamps_identical_between_modes(monkeypatch):
+    runs = {}
+    for transit in ("fast", "slow"):
+        net = _net(monkeypatch, transit)
+        path = net.topology.shortest_paths("src0", "dst0")[0]
+        seen = []
+        for i in range(3):
+            net.send_probe(
+                path, {"i": i},
+                on_hop=lambda pl, link, t: seen.append((pl["i"], link.name, t)),
+                pure_hop=True)
+        net.run(1.0)
+        runs[transit] = seen
+    assert runs["fast"] == runs["slow"]
+    # Per-link application order is (emission time, launch seq) in both
+    # modes, so the streams match element-for-element, not just as sets.
+
+
+def test_mid_flight_link_failure_materializes_identically(monkeypatch):
+    # Fail the bottleneck while probes are in flight: the fast flights
+    # must materialize and drop exactly like the per-hop reference.
+    results = {}
+    for transit in ("fast", "slow"):
+        net = _net(monkeypatch, transit)
+        path = net.topology.shortest_paths("src0", "dst0")[0]
+        outcome = []
+        for i in range(3):
+            net.send_probe(
+                path, i,
+                on_arrive=lambda p, t: outcome.append(("ok", p.payload, t,
+                                                       p.hops_taken)),
+                on_drop=lambda p: outcome.append(("drop", p.payload,
+                                                  p.hops_taken)))
+        # Mid-flight: while the probe is still crossing the first hop,
+        # before it is emitted onto the bottleneck.
+        net.sim.at(path[0].prop_delay * 0.5, net.fail_link, "SW1", "SW2")
+        net.run(1.0)
+        results[transit] = outcome
+    assert results["fast"] == results["slow"]
+    assert any(kind == "drop" for kind, *_ in results["fast"])
+
+
+def test_materialization_counter_increments(monkeypatch):
+    net = _net(monkeypatch, "fast")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    net.send_probe(path, None, on_drop=lambda p: None)
+    net.sim.at(path[0].prop_delay * 0.5, net.fail_link, "SW1", "SW2")
+    net.run(1.0)
+    assert net.fastpath_materialized >= 1
+
+
+def test_probe_and_event_pools_recycle(monkeypatch):
+    net = _net(monkeypatch, "fast")
+    path = net.topology.shortest_paths("src0", "dst0")[0]
+    done = []
+    # Sequential waves so earlier probes' objects are back in the pools
+    # when later waves launch.
+    for wave in range(5):
+        net.sim.at(wave * 1e-3, lambda: net.send_probe(
+            path, None, on_arrive=lambda p, t: done.append(t)))
+    net.run(1.0)
+    assert len(done) == 5
+    assert net._probe_free, "arrived probes should return to the pool"
+    assert net.sim.pool_reuse > 0
+
+
+def test_three_tier_fault_heavy_micro_equivalence(monkeypatch):
+    # Same probe workload on the testbed fat-tree under a link failure
+    # plus recovery, both modes, with pure stamps collecting per-hop
+    # observations — the full record streams must match.
+    results = {}
+    for transit in ("fast", "slow"):
+        net = _net(monkeypatch, transit, three_tier_testbed())
+        paths = net.topology.shortest_paths("S1", "S3")
+        stamps = []
+        arrivals = []
+
+        def launch():
+            for idx, path in enumerate(paths[:2]):
+                net.send_probe(
+                    path, idx,
+                    on_hop=lambda pl, link, t: stamps.append(
+                        (pl, link.name, round(t, 12))),
+                    on_arrive=lambda p, t: arrivals.append(
+                        (p.payload, round(t, 12), p.hops_taken)),
+                    on_drop=lambda p: arrivals.append(("drop", p.payload)),
+                    pure_hop=True)
+
+        for k in range(10):
+            net.sim.at(k * 2e-5, launch)
+        net.sim.at(5e-5, net.fail_link, "Agg1", "Core1")
+        net.sim.at(1.2e-4, net.recover_link, "Agg1", "Core1")
+        net.run(1.0)
+        results[transit] = (stamps, arrivals)
+    assert results["fast"] == results["slow"]
