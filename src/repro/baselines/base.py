@@ -71,6 +71,7 @@ class BaselinePair:
         self.last_path_switch = 0.0
         self.state: Dict[str, float] = {}  # controller scratch space
         self._probe_event: Optional[Event] = None
+        self._stopped = False
         self.stats = {"migrations": 0, "probes_sent": 0}
 
     # ------------------------------------------------------------------
@@ -94,12 +95,18 @@ class BaselinePair:
         self._send_probe()
 
     def stop(self) -> None:
+        # In-flight probes (and their reverse feedback legs) may still
+        # land after the pair is withdrawn by churn; the flag makes
+        # their callbacks no-ops instead of acting on a removed pair.
+        self._stopped = True
         if self._probe_event is not None:
             self._probe_event.cancel()
             self._probe_event = None
 
     # ------------------------------------------------------------------
     def _send_probe(self) -> None:
+        if self._stopped:
+            return
         sent_at = self.sim.now
         idx = self.current_idx
         path = self.path(idx)
@@ -122,6 +129,8 @@ class BaselinePair:
         )
 
     def _on_feedback(self, sent_at: float, now: float, utils: Dict[str, float]) -> None:
+        if self._stopped:
+            return
         if self._probe_event is not None:
             self._probe_event.cancel()
             self._probe_event = None

@@ -254,6 +254,54 @@ def _overhead(args) -> None:
     print(format_table("Figure 15b: probing overhead", ["pairs", "overhead"], rows))
 
 
+def _scale(args) -> None:
+    """``repro scale``: the cluster-scale tenant-churn sweep."""
+    from repro.experiments import scale_sweep
+
+    if args.verify_solver:
+        verdict = scale_sweep.verify_solver_equivalence(
+            scheme=(args.schemes[0] if args.schemes else "ufab"),
+            k=min(args.k),
+            churn=args.churn[0],
+            duration=min(args.duration, 0.005),
+            seed=args.seed,
+        )
+        status = "MATCH" if verdict["matches"] else "MISMATCH"
+        print(f"solver equivalence (scalar vs vector): {status} "
+              f"({verdict['vector_solves']} vectorized solves exercised)")
+        if not verdict["matches"]:
+            raise SystemExit(1)
+        return
+
+    rows_raw = scale_sweep.run_grid(
+        schemes=tuple(args.schemes or scale_sweep.SCHEMES),
+        ks=tuple(args.k),
+        churn_levels=tuple(args.churn),
+        duration=args.duration,
+        seeds=(args.seed,),
+        **_grid_kwargs(args),
+    )
+    rows = []
+    for r in rows_raw:
+        rep = r.get("churn_report") or {}
+        peak_members = rep.get("peak_members")
+        peak_groups = rep.get("peak_groups")
+        folding = (f"x{peak_members / peak_groups:.2f}"
+                   if peak_members and peak_groups else "-")
+        rows.append([
+            r["scheme"], r["k"], r["hosts"], r["churn"],
+            rep.get("arrivals", 0), rep.get("departures", 0),
+            f"{peak_members or '-'}/{peak_groups or '-'}", folding,
+            f"{r['events_processed']:,}",
+            r["solver_stats"].get("vector_solves", 0),
+        ])
+    print(format_table(
+        "Cluster-scale churn sweep (peak pairs/groups = flow-group folding)",
+        ["scheme", "k", "hosts", "churn", "arrive", "depart",
+         "pairs/groups", "fold", "events", "vec solves"], rows))
+    _write_obs(args, rows_raw)
+
+
 def _bench_compare(args) -> None:
     import json
 
@@ -301,7 +349,7 @@ def _bench(args) -> None:
         return
 
     report = run_bench(
-        grid=args.grid,
+        grid="scale" if args.scale else args.grid,
         jobs=args.jobs,
         schemes=tuple(args.schemes) if args.schemes else None,
         seeds=tuple(args.seeds),
@@ -325,9 +373,11 @@ def _bench(args) -> None:
         f"bench {report['grid']}: {report['n_jobs']} jobs x {report['jobs']} workers",
         ["experiment", "scheme", "seed", "status", "wall (s)", "events/s"], rows))
     cache = report["cache"]
+    rss = report.get("peak_rss_kb", 0)
     print(f"\ntotal wall: {report['total_wall_s']:.2f}s   "
           f"cache: {cache['hits']} hits / {cache['misses']} misses   "
-          f"failed: {report['n_failed']}")
+          f"failed: {report['n_failed']}"
+          + (f"   peak RSS: {rss / 1024:.0f} MiB" if rss else ""))
     if "out" in report:
         print(f"report written to {report['out']}")
     if report["n_failed"]:
@@ -487,6 +537,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a sweep grid, emit BENCH_*.json")
     b.add_argument("--grid", choices=sorted(GRIDS), default="fig11",
                    help="which grid to run (default: fig11)")
+    b.add_argument("--scale", action="store_true",
+                   help="shorthand for --grid scale (the k=8/16 "
+                        "tenant-churn sweep)")
     b.add_argument("--duration", type=float, default=None,
                    help="simulated seconds per cell (default: per-grid)")
     b.add_argument("--schemes", nargs="*", default=None,
@@ -511,17 +564,51 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--threshold", type=float, default=None,
                    help="with --compare: fail (exit 1) if the gated "
                         "speedup is below this")
-    b.add_argument("--metric", choices=("events", "wall", "heap"),
+    b.add_argument("--metric", choices=("events", "wall", "heap", "rss"),
                    default="events",
                    help="with --compare: speedup basis — events/sec "
-                        "(default), wall time, or heap (total events "
+                        "(default), wall time, heap (total events "
                         "deleted; use wall/heap for transit-mode A/Bs, "
-                        "where event counts differ)")
+                        "where event counts differ), or rss (peak-RSS "
+                        "ratio, the scale sweep's memory gate)")
     b.add_argument("--gate", choices=("worst", "geomean"), default="worst",
                    help="with --compare: apply --threshold to the worst "
                         "cell (default) or to the geometric mean")
     b.add_argument("--compare-out", metavar="PATH", default=None,
                    help="with --compare: also write the diff JSON here")
+
+    from repro.experiments.scale_sweep import (
+        CHURN_LEVELS,
+        DEFAULT_DURATION,
+        DEFAULT_KS,
+        DEFAULT_SEED,
+    )
+
+    s = sub.add_parser(
+        "scale", parents=[runner_opts, _obs_parent()],
+        help="cluster-scale tenant-churn sweep (k=16 fat-tree)",
+        description="Drive k-ary fat-trees under a seed-reproducible "
+                    "tenant-churn schedule and report throughput, "
+                    "flow-group folding, and solver vectorization.  "
+                    "--verify-solver instead runs one cell under both "
+                    "the scalar and the vectorized fluid solver and "
+                    "fails (exit 1) unless they are bit-identical.",
+    )
+    s.add_argument("--k", nargs="*", type=int, default=list(DEFAULT_KS),
+                   help="fat-tree arities to sweep (default: 8 16)")
+    s.add_argument("--churn", nargs="*", choices=sorted(CHURN_LEVELS),
+                   default=["low", "high"],
+                   help="churn intensity levels (default: low high)")
+    s.add_argument("--schemes", nargs="*", default=None,
+                   help="subset of schemes (default: ufab pwc)")
+    s.add_argument("--duration", type=float, default=DEFAULT_DURATION,
+                   help=f"simulated seconds per cell (default: "
+                        f"{DEFAULT_DURATION})")
+    s.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                   help=f"churn-schedule seed (default: {DEFAULT_SEED})")
+    s.add_argument("--verify-solver", action="store_true",
+                   help="assert scalar/vector solver equivalence on a "
+                        "small cell instead of running the sweep")
 
     t = sub.add_parser(
         "trace",
@@ -558,6 +645,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, spec in COMMANDS.items():
             print(f"  {name:10s} {spec['help']}")
         print("  bench      run a sweep grid, emit BENCH_*.json")
+        print("  scale      cluster-scale tenant-churn sweep (k=16 fat-tree)")
         print("  trace      run one fully-instrumented cell, write its trace")
         print("  faults     print the fault-spec grammar / validate a schedule")
         print("\n(benchmarks/ regenerates everything: "
@@ -569,6 +657,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "bench":
             _bench(args)
+        elif args.command == "scale":
+            _scale(args)
         elif args.command == "trace":
             _trace(args)
         elif args.command == "faults":

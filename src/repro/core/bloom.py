@@ -11,11 +11,19 @@ Phi_l / W_l under-estimates).
 from __future__ import annotations
 
 import hashlib
-from typing import List
+from typing import Dict, List
 
 
 class CountingBloomFilter:
-    """Counting Bloom filter with ``k`` independent hash functions."""
+    """Counting Bloom filter with ``k`` independent hash functions.
+
+    Counters are stored sparsely (index -> count, absent means zero):
+    behaviour is identical to a dense ``n_counters``-slot array — the
+    modulus, and hence every index and collision, is unchanged — but
+    memory scales with *occupied* slots.  A fabric attaches one filter
+    per egress port (6144 ports on a k=16 fat-tree), so dense 160K-slot
+    arrays would cost gigabytes before the first pair arrives.
+    """
 
     def __init__(self, n_counters: int = 20 * 1024, n_hashes: int = 2, seed: int = 0) -> None:
         if n_counters <= 0 or n_hashes <= 0:
@@ -23,7 +31,7 @@ class CountingBloomFilter:
         self.n_counters = n_counters
         self.n_hashes = n_hashes
         self.seed = seed
-        self._counters: List[int] = [0] * n_counters
+        self._counters: Dict[int, int] = {}
         self.items = 0
 
     # ------------------------------------------------------------------
@@ -40,23 +48,30 @@ class CountingBloomFilter:
 
     # ------------------------------------------------------------------
     def contains(self, key: str) -> bool:
-        return all(self._counters[i] > 0 for i in self._indices(key))
+        counters = self._counters
+        return all(counters.get(i, 0) > 0 for i in self._indices(key))
 
     def add(self, key: str) -> None:
+        counters = self._counters
         for i in self._indices(key):
-            self._counters[i] += 1
+            counters[i] = counters.get(i, 0) + 1
         self.items += 1
 
     def remove(self, key: str) -> None:
         """Remove one insertion of ``key``; no-op if counters are empty."""
+        counters = self._counters
         indices = self._indices(key)
-        if all(self._counters[i] > 0 for i in indices):
+        if all(counters.get(i, 0) > 0 for i in indices):
             for i in indices:
-                self._counters[i] -= 1
+                left = counters.get(i, 0) - 1
+                if left:
+                    counters[i] = left  # may go negative on self-collision
+                else:
+                    del counters[i]
             self.items = max(0, self.items - 1)
 
     def clear(self) -> None:
-        self._counters = [0] * self.n_counters
+        self._counters.clear()
         self.items = 0
 
     # ------------------------------------------------------------------

@@ -1,0 +1,233 @@
+"""Cluster-scale sweep: fat-tree fabrics under tenant churn.
+
+The paper's predictability story is a *scale* story — guarantees must
+hold while thousands of VM-pairs join and leave.  This sweep drives a
+k-ary fat-tree (k=16 is 1024 hosts, the ROADMAP's order-of-magnitude
+target over the 512-host static workload) with a seed-reproducible
+:class:`~repro.workloads.tenants.TenantSchedule` of VF churn, and
+measures the simulator's throughput (events/sec), the churn plane's
+footprint (flow groups vs raw pairs), and the solver's vectorization
+coverage.
+
+Tractability comes from two levers built for this sweep:
+
+* the :mod:`repro.sim.fluid` numpy kernel — large components run the
+  fixed point as array ops (``REPRO_SOLVER=auto`` picks it per
+  component; cells report ``vector_solves`` so coverage is auditable);
+* flow-group aggregation — same-endpoint same-class pairs share one
+  fabric pair, so controller/probe/solver state scales with distinct
+  (endpoints, class) combinations, not the raw pair population.
+
+``repro bench --scale`` wraps :func:`grid` into ``BENCH_scale.json``
+(events/sec + peak-RSS per cell); ``repro scale`` runs the sweep
+standalone and can A/B the vectorized solver against scalar
+(``--verify-solver``), which is what the CI scale job asserts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.params import UFabParams
+from repro.experiments.common import build_scheme
+from repro.sim.network import Network
+from repro.sim.topology import fat_tree
+from repro.workloads.tenants import (
+    TenantChurnConfig,
+    generate_churn,
+    install_churn,
+)
+
+SCHEMES = ("ufab", "pwc")
+DEFAULT_KS = (8, 16)
+DEFAULT_CHURN = ("low", "high")
+DEFAULT_DURATION = 0.02
+DEFAULT_SEED = 7
+
+# Churn intensity axis: arrivals/lifetimes tuned so a DEFAULT_DURATION
+# cell sees tens ("low") to hundreds ("high") of arrivals, with the
+# diurnal swing compressed into the horizon.
+CHURN_LEVELS: Dict[str, TenantChurnConfig] = {
+    "low": TenantChurnConfig(
+        n_seed_tenants=8, arrival_rate_hz=800.0, mean_lifetime_s=0.02,
+        diurnal_period_s=0.02, diurnal_depth=0.5, max_vms=8),
+    "mid": TenantChurnConfig(
+        n_seed_tenants=16, arrival_rate_hz=2000.0, mean_lifetime_s=0.015,
+        diurnal_period_s=0.02, diurnal_depth=0.5, max_vms=12),
+    "high": TenantChurnConfig(
+        n_seed_tenants=24, arrival_rate_hz=4000.0, mean_lifetime_s=0.01,
+        diurnal_period_s=0.02, diurnal_depth=0.5, max_vms=16),
+}
+
+
+def scale_network(k: int, link_capacity: float = 10e9,
+                  resolve_interval: float = 50e-6) -> Network:
+    """A fresh k-ary fat-tree network tuned for population scale.
+
+    ``resolve_interval`` batches solver work: churn arrivals land
+    between resolve ticks instead of each forcing a synchronous fixed
+    point, which is what makes 1024-host cells tractable.
+    """
+    net = Network(fat_tree(k=k, capacity=link_capacity))
+    net.resolve_interval = resolve_interval
+    return net
+
+
+def run_one(
+    scheme: str,
+    k: int = 16,
+    churn: str = "high",
+    duration: float = DEFAULT_DURATION,
+    seed: int = DEFAULT_SEED,
+    aggregate: bool = True,
+    solver: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One (scheme, k, churn) cell; returns a JSON-ready row.
+
+    ``solver`` pins ``REPRO_SOLVER`` for this cell (``scalar`` /
+    ``vector`` / ``auto``); ``None`` inherits the process environment.
+    The solver mode changes *how* the fixed point is computed, never
+    what it computes — the two modes are bit-identical, which
+    ``repro scale --verify-solver`` (and the CI scale job) asserts by
+    diffing this row across modes.
+    """
+    if churn not in CHURN_LEVELS:
+        raise ValueError(
+            f"unknown churn level {churn!r}; choose from {sorted(CHURN_LEVELS)}")
+    saved = os.environ.get("REPRO_SOLVER")
+    if solver is not None:
+        os.environ["REPRO_SOLVER"] = solver
+    try:
+        net = scale_network(k)
+        params = UFabParams(n_candidate_paths=4)
+        fabric = build_scheme(scheme, net, params=params, seed=seed)
+        config = CHURN_LEVELS[churn]
+        schedule = generate_churn(
+            net.topology.hosts(), horizon_s=duration, seed=seed, config=config)
+        injector = install_churn(
+            net, fabric, schedule,
+            unit_bandwidth=params.unit_bandwidth, aggregate=aggregate)
+        net.run(duration)
+    finally:
+        if solver is not None:
+            if saved is None:
+                del os.environ["REPRO_SOLVER"]
+            else:
+                os.environ["REPRO_SOLVER"] = saved
+
+    solver_stats = net.solver.stats.as_dict()
+    delivered = [e.delivered_rate for e in net.solver.flows.values()]
+    row: Dict[str, Any] = {
+        "scheme": scheme,
+        "k": k,
+        "hosts": len(net.topology.hosts()),
+        "churn": churn,
+        "duration": duration,
+        "seed": seed,
+        "aggregate": aggregate,
+        "solver_mode": net.solver.mode,
+        "events_processed": net.sim.events_processed,
+        "schedule_events": len(schedule),
+        "active_pairs": len(net.pairs),
+        "delivered_total_bps": round(sum(delivered), 3),
+        "churn_report": injector.report(),
+        "solver_stats": solver_stats,
+    }
+    return row
+
+
+def cell(
+    scheme: str,
+    k: int = 16,
+    churn: str = "high",
+    duration: float = DEFAULT_DURATION,
+    seed: int = DEFAULT_SEED,
+    aggregate: bool = True,
+    faults: Optional[Dict[str, object]] = None,
+) -> Dict[str, Any]:
+    """Runner grid cell (``faults`` accepted for API uniformity)."""
+    if faults:
+        raise ValueError("scale cells do not take fault schedules yet")
+    return run_one(scheme, k=k, churn=churn, duration=duration, seed=seed,
+                   aggregate=aggregate)
+
+
+def grid(
+    schemes: Sequence[str] = SCHEMES,
+    ks: Sequence[int] = DEFAULT_KS,
+    churn_levels: Sequence[str] = DEFAULT_CHURN,
+    duration: float = DEFAULT_DURATION,
+    seeds: Sequence[int] = (DEFAULT_SEED,),
+) -> List["Job"]:
+    """The scale sweep: scheme x k x churn intensity x seed."""
+    from repro.runner import Job
+
+    jobs: List[Job] = []
+    for scheme in schemes:
+        for k in ks:
+            for churn in churn_levels:
+                for seed in seeds:
+                    jobs.append(Job(
+                        experiment="scale",
+                        entry="repro.experiments.scale_sweep:cell",
+                        scheme=scheme,
+                        seed=seed,
+                        params={"scheme": scheme, "k": k, "churn": churn,
+                                "duration": duration, "seed": seed},
+                    ))
+    return jobs
+
+
+def run_grid(
+    schemes: Sequence[str] = SCHEMES,
+    ks: Sequence[int] = DEFAULT_KS,
+    churn_levels: Sequence[str] = DEFAULT_CHURN,
+    duration: float = DEFAULT_DURATION,
+    seeds: Sequence[int] = (DEFAULT_SEED,),
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    obs: Optional[Dict[str, object]] = None,
+    faults: Optional[Dict[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """The scale sweep through the parallel runner (rows of dicts)."""
+    from repro.experiments.common import run_grid as submit
+
+    grid_jobs = grid(schemes, ks, churn_levels, duration, seeds)
+    return submit(grid_jobs, jobs=jobs, use_cache=use_cache,
+                  cache_dir=cache_dir, obs=obs, faults=faults)
+
+
+def verify_solver_equivalence(
+    scheme: str = "ufab",
+    k: int = 8,
+    churn: str = "low",
+    duration: float = 0.005,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, Any]:
+    """Run one cell under the scalar and the vector solver and diff.
+
+    Returns both rows plus a ``matches`` verdict.  The rows are compared
+    after stripping fields the mode legitimately changes (the mode label
+    and the solver's own dispatch counters) — everything observable
+    about the *simulation* must be identical.
+    """
+    def strip(row: Dict[str, Any]) -> Dict[str, Any]:
+        out = dict(row)
+        out.pop("solver_mode", None)
+        stats = dict(out.pop("solver_stats", {}))
+        stats.pop("vector_solves", None)
+        out["solver_stats"] = stats
+        return out
+
+    scalar = run_one(scheme, k=k, churn=churn, duration=duration,
+                     seed=seed, solver="scalar")
+    vector = run_one(scheme, k=k, churn=churn, duration=duration,
+                     seed=seed, solver="vector")
+    return {
+        "matches": strip(scalar) == strip(vector),
+        "vector_solves": vector["solver_stats"]["vector_solves"],
+        "scalar": scalar,
+        "vector": vector,
+    }

@@ -31,6 +31,7 @@ _INSTRUMENTED_MODULES = (
     "repro.core.pathsel",
     "repro.core.edge",
     "repro.faults.injector",
+    "repro.workloads.tenants",
 )
 
 

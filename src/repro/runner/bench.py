@@ -99,6 +99,23 @@ def _probe_fastpath_grid(schemes, seeds, duration, degrees) -> List[Job]:
     return out
 
 
+def _scale_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    """Cluster-scale churn sweep: scheme x k in {8,16} x churn level.
+
+    One seed only (the first given): the cells are the most expensive
+    in the suite and the sweep gates throughput/RSS, not statistics.
+    """
+    from repro.experiments import scale_sweep
+
+    return scale_sweep.grid(
+        schemes=schemes or scale_sweep.SCHEMES,
+        ks=scale_sweep.DEFAULT_KS,
+        churn_levels=scale_sweep.DEFAULT_CHURN,
+        duration=duration,
+        seeds=tuple(seeds[:1]) or (scale_sweep.DEFAULT_SEED,),
+    )
+
+
 def _smoke_grid(schemes, seeds, duration, degrees) -> List[Job]:
     return [
         Job(
@@ -125,6 +142,9 @@ GRIDS: Dict[str, Dict[str, Any]] = {
                   "help": "partial deployment + headroom cells"},
     "resilience": {"build": _resilience_grid, "duration": 0.04,
                    "help": "fault sweep: scheme x loss-rate/MTBF x seed"},
+    "scale": {"build": _scale_grid, "duration": 0.015,
+              "help": "k=8/16 fat-tree tenant-churn sweep "
+                      "(events/sec + peak-RSS gate)"},
     "smoke": {"build": _smoke_grid, "duration": 0.0,
               "help": "simulator-free runner smoke grid"},
     "probe_fastpath": {"build": _probe_fastpath_grid, "duration": 0.04,
@@ -214,6 +234,7 @@ def run_bench(
             "wall_s": round(r.wall_s, 6),
             "events_processed": events,
             "events_per_sec": round(events / r.wall_s, 1) if r.wall_s > 0 else None,
+            "peak_rss_kb": r.peak_rss_kb,
             "error": r.error,
         }
         if r.ok and isinstance(r.payload, dict):
@@ -230,6 +251,9 @@ def run_bench(
         "n_jobs": len(grid_jobs),
         "n_failed": sum(1 for r in results if not r.ok),
         "total_wall_s": round(total_wall, 6),
+        # Worst (largest) executing-process RSS seen across the grid; 0
+        # when every cell came from the cache.
+        "peak_rss_kb": max((r.peak_rss_kb for r in results), default=0),
         "cache": {
             "enabled": use_cache,
             "hits": cache.hits if cache else 0,
@@ -286,6 +310,13 @@ def compare_reports(
       speedup itself (per-hop transit events collapsed into flat
       arrivals); wall time follows it only as far as event dispatch
       dominates the cell, so report both.
+    - ``"rss"``: peak-RSS ratio ``old / new`` — memory-footprint gate
+      for the scale sweep.  ``ru_maxrss`` is a process-lifetime high
+      watermark, so under persistent workers a cell's figure is an
+      upper bound (exact for the grid's largest cell); gate it with a
+      lenient threshold (~0.5, "no worse than 2x the reference") and
+      cells with an unknown RSS (cache hits, pre-RSS reports) are
+      skipped rather than failed.
 
     ``threshold`` is the minimum acceptable speedup at the chosen
     ``gate``: ``"worst"`` fails if any matched cell falls below it (CI
@@ -294,9 +325,9 @@ def compare_reports(
     1.5).  Timings are not comparable across machines — compare reports
     from the same host.
     """
-    if metric not in ("events", "wall", "heap"):
+    if metric not in ("events", "wall", "heap", "rss"):
         raise ValueError(
-            f"metric must be 'events', 'wall' or 'heap', got {metric!r}")
+            f"metric must be 'events', 'wall', 'heap' or 'rss', got {metric!r}")
     if gate not in ("worst", "geomean"):
         raise ValueError(f"gate must be 'worst' or 'geomean', got {gate!r}")
     old_rows = {_job_key(r): r for r in old.get("results", []) if r.get("ok")}
@@ -317,15 +348,21 @@ def compare_reports(
             "new_wall_s": nrow.get("wall_s"),
             "old_events": orow.get("events_processed"),
             "new_events": nrow.get("events_processed"),
+            "old_peak_rss_kb": orow.get("peak_rss_kb"),
+            "new_peak_rss_kb": nrow.get("peak_rss_kb"),
         }
         o_eps, n_eps = orow.get("events_per_sec"), nrow.get("events_per_sec")
         o_w, n_w = orow.get("wall_s"), nrow.get("wall_s")
         o_ev, n_ev = orow.get("events_processed"), nrow.get("events_processed")
+        o_rss, n_rss = orow.get("peak_rss_kb"), nrow.get("peak_rss_kb")
         entry["wall_ratio"] = round(n_w / o_w, 4) if o_w and n_w else None
         if metric == "wall":
             entry["speedup"] = round(o_w / n_w, 4) if o_w and n_w else None
         elif metric == "heap":
             entry["speedup"] = round(o_ev / n_ev, 4) if o_ev and n_ev else None
+        elif metric == "rss":
+            entry["speedup"] = (
+                round(o_rss / n_rss, 4) if o_rss and n_rss else None)
         else:
             entry["speedup"] = (
                 round(n_eps / o_eps, 4) if o_eps and n_eps else None)

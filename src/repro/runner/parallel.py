@@ -49,8 +49,9 @@ def _worker_main(conn) -> None:
     """Persistent worker body: serve jobs until the ``None`` sentinel.
 
     Messages in: ``(index, job)`` tuples.  Messages out:
-    ``(index, "ok", payload, wall_s)`` or ``(index, "error", tb)``.
-    A raising cell is an answered request, not a dead worker.
+    ``(index, "ok", payload, wall_s, peak_rss_kb)`` or
+    ``(index, "error", tb)``.  A raising cell is an answered request,
+    not a dead worker.
     """
     try:
         while True:
@@ -59,8 +60,8 @@ def _worker_main(conn) -> None:
                 break
             index, job = request
             try:
-                payload, wall = timed_execute(job)
-                conn.send((index, "ok", payload, wall))
+                payload, wall, rss = timed_execute(job)
+                conn.send((index, "ok", payload, wall, rss))
             except BaseException:
                 conn.send((index, "error", traceback.format_exc()))
     except (EOFError, OSError):  # parent went away - nothing to report to
@@ -179,9 +180,10 @@ class ParallelRunner:
         for index in todo:
             job = jobs[index]
             try:
-                payload, wall = timed_execute(job)
+                payload, wall, rss = timed_execute(job)
                 result = JobResult(index=index, job=job, ok=True,
-                                   payload=payload, wall_s=wall)
+                                   payload=payload, wall_s=wall,
+                                   peak_rss_kb=rss)
             except Exception:
                 result = JobResult(index=index, job=job, ok=False,
                                    error=traceback.format_exc())
@@ -246,9 +248,10 @@ class ParallelRunner:
                         replace(worker)
                         continue
                     if message[1] == "ok":
-                        _, _, payload, wall = message
+                        _, _, payload, wall, rss = message
                         finish(worker, JobResult(index=index, job=job, ok=True,
-                                                 payload=payload, wall_s=wall))
+                                                 payload=payload, wall_s=wall,
+                                                 peak_rss_kb=rss))
                     else:
                         finish(worker, JobResult(index=index, job=job, ok=False,
                                                  error=message[2]))

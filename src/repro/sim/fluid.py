@@ -28,15 +28,44 @@ Exogenous mutations the solver cannot observe — link ``failed`` flags
 flipped by failure injection, capacity changes — must be announced with
 :meth:`invalidate`, which forces the next solve to cover every flow.
 ``Network.fail_node`` / ``recover_node`` / ``fail_link`` do this.
+
+Vectorized fixed point
+----------------------
+
+Components past :data:`VECTOR_MIN_FLOWS` flows run the fixed point as
+numpy array operations instead of the per-flow Python loop: paths are
+packed into one dense ``(flows x max_hops)`` matrix of link ids (padded
+with a virtual link whose scale is pinned to 1.0), per-hop entry rates
+come from a row-wise ``cumprod`` over gathered scales, and per-link
+inflows accumulate via ``np.add.at``.  Both kernels perform the *same*
+float operations in the *same* order — ``cumprod`` multiplies left to
+right exactly like the scalar hop walk, ``np.add.at`` is unbuffered and
+applies addends in row-major (flow-then-hop) order, which is the scalar
+accumulation order — so vector and scalar solves are bit-identical.
+``tests/test_fluid_vector.py`` asserts exact equality over randomized
+incremental sequences.  Select explicitly with ``REPRO_SOLVER=
+scalar|vector`` (default ``auto``: vectorize large components only —
+the packed matrix is cached between solves, and small components are
+faster in pure Python than through numpy dispatch overhead).
 """
 
 from __future__ import annotations
 
 import operator
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.obs import OBS
 from repro.sim.link import Link
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dependency
+    _np = None
+
+# Components with at least this many flows use the numpy kernel in
+# ``auto`` mode; below it the scalar loop wins on dispatch overhead.
+VECTOR_MIN_FLOWS = 128
 
 _M_FULL = OBS.metrics.counter(
     "solver.full_solves", unit="solves", site="repro/sim/fluid.py:FluidSolver._solve",
@@ -52,6 +81,12 @@ _M_COMP = OBS.metrics.counter(
     site="repro/sim/fluid.py:FluidSolver._solve",
     desc="Total flows across incremental-solve components (divide by "
          "solver.incremental_solves for the mean component size).")
+_M_VECTOR = OBS.metrics.counter(
+    "solver.vector_solves", unit="solves",
+    site="repro/sim/fluid.py:FluidSolver._solve",
+    desc="Solves executed by the vectorized numpy fixed-point kernel "
+         "(bit-identical to the scalar loop; large components only "
+         "under REPRO_SOLVER=auto).")
 
 
 _BY_ORDER = operator.attrgetter("order")
@@ -61,7 +96,7 @@ class SolverStats:
     """Always-on counters for one :class:`FluidSolver` (cheap, per solve)."""
 
     __slots__ = ("full_solves", "incremental_solves", "component_flows",
-                 "iterations", "skipped_resolves")
+                 "iterations", "skipped_resolves", "vector_solves")
 
     def __init__(self) -> None:
         self.full_solves = 0
@@ -69,6 +104,7 @@ class SolverStats:
         self.component_flows = 0
         self.iterations = 0
         self.skipped_resolves = 0
+        self.vector_solves = 0
 
     @property
     def solves(self) -> int:
@@ -87,6 +123,7 @@ class SolverStats:
             "mean_component_flows": round(self.mean_component_flows(), 3),
             "iterations": self.iterations,
             "skipped_resolves": self.skipped_resolves,
+            "vector_solves": self.vector_solves,
         }
 
 
@@ -108,13 +145,113 @@ class FlowEntry:
         self.order = 0
 
 
+class _VectorKernel:
+    """Packed numpy view of one component, reused across solves.
+
+    Structure (the path matrix) survives until membership changes —
+    add/remove/``set_path`` clear the solver's kernel cache.  Values
+    (send rates, capacities, failure flags) are re-read every solve, so
+    ``set_rate`` and exogenous link flips need no cache maintenance.
+    """
+
+    __slots__ = ("P", "link_idx", "pad", "n", "_rates", "_acc", "_scale")
+
+    def __init__(self, flows: List["FlowEntry"], link_ids: List[int],
+                 n_links: int) -> None:
+        n = len(flows)
+        m = max(len(entry.link_ids) for entry in flows)
+        self.pad = n_links  # virtual link: scale pinned to 1.0
+        P = _np.full((n, m), self.pad, dtype=_np.intp)
+        for i, entry in enumerate(flows):
+            P[i, : len(entry.link_ids)] = entry.link_ids
+        self.P = P
+        self.link_idx = _np.asarray(link_ids, dtype=_np.intp)
+        self.n = n
+        # Per-solve scratch (allocated once per kernel).
+        self._rates = _np.empty((n, m), dtype=_np.float64)
+        self._acc = _np.zeros(n_links + 1, dtype=_np.float64)
+        self._scale = _np.ones(n_links + 1, dtype=_np.float64)
+
+    def run(self, flows: List["FlowEntry"], links: List[Link],
+            tolerance: float, max_iterations: int) -> int:
+        """Fixed point over the packed component; returns iterations.
+
+        Performs the scalar kernel's float ops in the scalar kernel's
+        order: row-wise ``cumprod`` is the left-to-right hop walk, and
+        unbuffered ``np.add.at`` accumulates per-link inflow addends in
+        row-major order — flow registration order, then hop order —
+        exactly like the per-flow Python loop.
+        """
+        P = self.P
+        L = self.link_idx
+        rates = self._rates
+        acc = self._acc
+        scale = self._scale
+        send = _np.fromiter((entry.send_rate for entry in flows),
+                            dtype=_np.float64, count=self.n)
+        caps = _np.fromiter((links[lid].capacity for lid in L),
+                            dtype=_np.float64, count=len(L))
+        up = _np.fromiter((not links[lid].failed for lid in L),
+                          dtype=_np.bool_, count=len(L))
+        scale[L] = 1.0
+        scale[self.pad] = 1.0
+        iterations = 0
+        for _ in range(max_iterations):
+            iterations += 1
+            acc.fill(0.0)
+            # rates[:, j] = send * scale[hop 0] * ... * scale[hop j-1]:
+            # the rate at which the flow *enters* hop j.
+            rates[:, 0] = send
+            s = scale[P]
+            rates[:, 1:] = s[:, :-1]
+            _np.cumprod(rates, axis=1, out=rates)
+            _np.add.at(acc, P, rates)
+            inflow = acc[L]
+            new_scale = _np.where(
+                up & (inflow <= caps),
+                1.0,
+                _np.divide(caps, inflow,
+                           out=_np.zeros_like(caps),
+                           where=up & (inflow > caps)),
+            )
+            old = scale[L]
+            worst = float(_np.max(_np.abs(new_scale - old))) if len(L) else 0.0
+            scale[L] = new_scale
+            if worst <= tolerance:
+                break
+        delivered = rates[:, -1] * s[:, -1]
+        for i, entry in enumerate(flows):
+            entry.delivered_rate = float(delivered[i])
+        return iterations
+
+    def writeback(self, acc_list: List[float], scale_list: List[float]) -> None:
+        """Copy component inflows/scales into the solver's scalar arrays."""
+        acc = self._acc
+        scale = self._scale
+        for lid in self.link_idx:
+            acc_list[lid] = float(acc[lid])
+            scale_list[lid] = float(scale[lid])
+
+
 class FluidSolver:
     """Computes per-link inflows and per-flow delivered rates."""
 
-    def __init__(self, tolerance: float = 1e-6, max_iterations: int = 50) -> None:
+    def __init__(self, tolerance: float = 1e-6, max_iterations: int = 50,
+                 mode: Optional[str] = None) -> None:
         self.flows: Dict[str, FlowEntry] = {}
         self.tolerance = tolerance
         self.max_iterations = max_iterations
+        if mode is None:
+            mode = os.environ.get("REPRO_SOLVER", "auto") or "auto"
+        if mode not in ("auto", "scalar", "vector"):
+            raise ValueError(
+                f"unknown solver mode {mode!r} (auto, scalar, or vector)")
+        if _np is None:  # pragma: no cover - numpy is a hard dependency
+            mode = "scalar"
+        self.mode = mode
+        # Packed numpy kernels keyed by component token; cleared on any
+        # membership change (the path matrix encodes structure only).
+        self._kernels: Dict[int, _VectorKernel] = {}
         # Relative change in a delivered rate below which the flow is not
         # reported as moved (listener notification gate).
         self.notify_epsilon = 1e-9
@@ -191,6 +328,7 @@ class FluidSolver:
         self._dirty_flows.add(index)
         self._forced_notify.add(index)
         self._partition_valid = False
+        self._kernels.clear()
 
     def remove_flow(self, flow_id: str) -> None:
         entry = self.flows.pop(flow_id)
@@ -205,6 +343,7 @@ class FluidSolver:
         self._changed_flows.discard(index)
         self._forced_notify.discard(index)
         self._partition_valid = False
+        self._kernels.clear()
 
     def set_rate(self, flow_id: str, rate: float) -> None:
         entry = self.flows[flow_id]
@@ -228,6 +367,7 @@ class FluidSolver:
             self._link_flows[lid].add(index)
         self._dirty_flows.add(index)
         self._partition_valid = False
+        self._kernels.clear()
 
     def delivered_rate(self, flow_id: str) -> float:
         return self.flows[flow_id].delivered_rate
@@ -290,8 +430,8 @@ class FluidSolver:
         self._comp_links = comp_links
         self._partition_valid = True
 
-    def _component(self) -> Tuple[List[FlowEntry], List[int]]:
-        """Flows and links that must re-solve for the current dirty set.
+    def _component(self) -> Tuple[List[FlowEntry], List[int], Optional[int]]:
+        """Flows, links, and kernel token for the current dirty set.
 
         The union of the dirty flows' (and dirty links') cached
         components.  Link ids come back unordered: every per-link step of
@@ -299,6 +439,10 @@ class FluidSolver:
         independent across links, so only the *flow* order matters for
         bit-reproducibility — component flow lists are pre-sorted by
         registration order, matching a full solve's dict order.
+
+        The token identifies a stable component whose packed vector
+        kernel may be cached (``None`` for multi-component merges and
+        solves carrying orphan links, which are transient).
         """
         if not self._partition_valid:
             self._build_partition()
@@ -321,15 +465,15 @@ class FluidSolver:
             flows = self._comp_flows[cid]
             link_ids = self._comp_links[cid]
             if orphan_links:
-                link_ids = link_ids + orphan_links
-            return flows, link_ids
+                return flows, link_ids + orphan_links, None
+            return flows, link_ids, cid
         flows = []
         link_ids = list(orphan_links)
         for cid in comp_ids:
             flows.extend(self._comp_flows[cid])
             link_ids.extend(self._comp_links[cid])
         flows.sort(key=_BY_ORDER)
-        return flows, link_ids
+        return flows, link_ids, None
 
     def _fixed_point(self, flows: List[FlowEntry], link_ids: List[int]) -> None:
         """Run the proportional-throttle fixed point on one component.
@@ -375,16 +519,35 @@ class FluidSolver:
                 break
         self.stats.iterations += iterations
 
+    def _kernel_for(self, token: Optional[int], flows: List[FlowEntry],
+                    link_ids: List[int]) -> _VectorKernel:
+        """Cached packed kernel for a stable component, fresh otherwise.
+
+        ``token`` is ``-1`` for full solves, the component id for clean
+        single-component solves, and ``None`` for transient shapes
+        (multi-component merges, orphan-link carriers) that are not worth
+        caching.  The cache is cleared on every membership change, so a
+        hit is guaranteed structurally current.
+        """
+        if token is None:
+            return _VectorKernel(flows, link_ids, len(self._links))
+        kernel = self._kernels.get(token)
+        if kernel is None:
+            kernel = _VectorKernel(flows, link_ids, len(self._links))
+            self._kernels[token] = kernel
+        return kernel
+
     def _solve(self) -> None:
         """Advance the solver to a converged state for the current inputs."""
         if self._full:
             flows = list(self.flows.values())
             link_ids = list(range(len(self._links)))
+            token: Optional[int] = -1
             self.stats.full_solves += 1
             if OBS.enabled:
                 _M_FULL.inc()
         elif self._dirty_flows or self._dirty_links:
-            flows, link_ids = self._component()
+            flows, link_ids, token = self._component()
             self.stats.incremental_solves += 1
             self.stats.component_flows += len(flows)
             if OBS.enabled:
@@ -394,7 +557,17 @@ class FluidSolver:
             self.stats.skipped_resolves += 1
             return
         old_rates = [entry.delivered_rate for entry in flows]
-        self._fixed_point(flows, link_ids)
+        if (self.mode != "scalar" and flows
+                and (self.mode == "vector" or len(flows) >= VECTOR_MIN_FLOWS)):
+            kernel = self._kernel_for(token, flows, link_ids)
+            self.stats.iterations += kernel.run(
+                flows, self._links, self.tolerance, self.max_iterations)
+            kernel.writeback(self._acc, self._scale)
+            self.stats.vector_solves += 1
+            if OBS.enabled:
+                _M_VECTOR.inc()
+        else:
+            self._fixed_point(flows, link_ids)
         inflow = self._inflow
         acc = self._acc
         changed_links = self._changed_links

@@ -1,5 +1,6 @@
 """Workload generators: synthetic patterns, flow-size distributions,
-application models (Memcached/MongoDB, EBS), and tenant synthesis."""
+application models (Memcached/MongoDB, EBS), tenant synthesis, and the
+cluster-scale tenant-churn schedule."""
 
 from repro.workloads.synthetic import (
     OnOffDemand,
@@ -16,7 +17,19 @@ from repro.workloads.apps import (
     EbsCluster,
     RequestResponseApp,
 )
-from repro.workloads.tenants import TenantSpec, synthesize_tenants
+from repro.workloads.tenants import (
+    ChurnInjector,
+    FlowGroupTable,
+    TenantChurnConfig,
+    TenantSchedule,
+    TenantSpec,
+    VFArrival,
+    VFDeparture,
+    churn_event_from_config,
+    generate_churn,
+    install_churn,
+    synthesize_tenants,
+)
 
 __all__ = [
     "OnOffDemand",
@@ -30,4 +43,13 @@ __all__ = [
     "EbsCluster",
     "TenantSpec",
     "synthesize_tenants",
+    "TenantChurnConfig",
+    "TenantSchedule",
+    "VFArrival",
+    "VFDeparture",
+    "churn_event_from_config",
+    "generate_churn",
+    "install_churn",
+    "FlowGroupTable",
+    "ChurnInjector",
 ]

@@ -145,3 +145,24 @@ def test_trace_accepts_faults(capsys, tmp_path, monkeypatch):
     assert "wrote" in out
     trace = (tmp_path / "TRACE_fig11.jsonl").read_text()
     assert "faults.probe_drop" in trace
+
+
+def test_scale_command_tiny_run(capsys):
+    assert main(["scale", "--k", "4", "--churn", "low", "--schemes", "ufab",
+                 "--duration", "0.004", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "Cluster-scale churn sweep" in out and "ufab" in out
+
+
+def test_scale_verify_solver_passes(capsys):
+    assert main(["scale", "--verify-solver", "--k", "4",
+                 "--churn", "low"]) == 0
+    assert "MATCH" in capsys.readouterr().out
+
+
+def test_bench_scale_flag_is_grid_shorthand():
+    args = build_parser().parse_args(["bench", "--scale"])
+    assert args.scale and args.grid == "fig11"  # grid overridden at runtime
+    args = build_parser().parse_args(["bench", "--metric", "rss",
+                                      "--compare", "a.json", "b.json"])
+    assert args.metric == "rss"

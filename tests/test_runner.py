@@ -441,3 +441,68 @@ def test_compare_cli_exit_codes(tmp_path):
         capture_output=True, text=True, env=env)
     assert bad.returncode == 1
     assert "FAIL" in bad.stdout
+
+
+# ----------------------------------------------------------------------
+# peak-RSS plumbing (scale-sweep memory gate)
+# ----------------------------------------------------------------------
+
+def test_peak_rss_reported_in_serial_and_parallel_runs():
+    jobs = _echo_jobs(2)
+    for workers in (1, 2):
+        results = ParallelRunner(jobs=workers).run(jobs)
+        assert all(r.ok for r in results)
+        # Any live Python process is at least a few MiB resident.
+        assert all(r.peak_rss_kb > 1024 for r in results)
+
+
+def test_cache_hits_report_unknown_rss(tmp_path):
+    from repro.runner import ResultCache
+
+    cache = ResultCache(str(tmp_path))
+    jobs = _echo_jobs(1)
+    first = ParallelRunner(jobs=1, cache=cache).run(jobs)
+    again = ParallelRunner(jobs=1, cache=cache).run(jobs)
+    assert first[0].peak_rss_kb > 0
+    assert again[0].cached and again[0].peak_rss_kb == 0
+
+
+def test_bench_report_carries_peak_rss(tmp_path):
+    report = run_bench(grid="smoke", jobs=1, use_cache=False,
+                       out=str(tmp_path / "b.json"))
+    assert report["peak_rss_kb"] > 1024
+    assert all(r["peak_rss_kb"] > 1024 for r in report["results"])
+    assert report["peak_rss_kb"] == \
+        max(r["peak_rss_kb"] for r in report["results"])
+
+
+def test_compare_reports_rss_metric_gates_on_ratio():
+    old = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 1000.0,
+         "wall_s": 1.0, "peak_rss_kb": 100_000},
+    ])
+    new_ok = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 1000.0,
+         "wall_s": 1.0, "peak_rss_kb": 120_000},
+    ])
+    diff = compare_reports(old, new_ok, metric="rss", threshold=0.5)
+    assert diff["cells"][0]["speedup"] == pytest.approx(100 / 120, abs=1e-3)
+    assert diff["passed"] is True
+
+    new_bloated = _report([
+        {"scheme": "ufab", "seed": 1, "events_per_sec": 1000.0,
+         "wall_s": 1.0, "peak_rss_kb": 250_000},
+    ])
+    diff = compare_reports(old, new_bloated, metric="rss", threshold=0.5)
+    assert diff["passed"] is False
+
+
+def test_compare_reports_rss_metric_skips_unknown_rss():
+    # Old report predates RSS capture (or was a cache hit): no gate.
+    old = _report([{"scheme": "ufab", "seed": 1,
+                    "events_per_sec": 1000.0, "wall_s": 1.0}])
+    new = _report([{"scheme": "ufab", "seed": 1, "events_per_sec": 1000.0,
+                    "wall_s": 1.0, "peak_rss_kb": 50_000}])
+    diff = compare_reports(old, new, metric="rss")
+    assert diff["cells"][0]["speedup"] is None
+    assert diff["worst_speedup"] is None

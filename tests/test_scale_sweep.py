@@ -1,0 +1,62 @@
+"""Tests for the cluster-scale sweep (repro.experiments.scale_sweep)."""
+
+import pytest
+
+from repro.experiments import scale_sweep
+from repro.runner import build_grid
+
+
+def test_grid_shape_and_entries():
+    jobs = scale_sweep.grid()
+    # scheme x k x churn x seed
+    assert len(jobs) == 2 * 2 * 2 * 1
+    assert {j.experiment for j in jobs} == {"scale"}
+    assert {j.entry for j in jobs} == \
+        {"repro.experiments.scale_sweep:cell"}
+    assert {j.params["k"] for j in jobs} == {8, 16}
+    assert {j.params["churn"] for j in jobs} == {"low", "high"}
+
+
+def test_bench_scale_grid_registered():
+    jobs = build_grid("scale", seeds=(1, 2))
+    # The scale grid deliberately keeps only the first seed.
+    assert {j.seed for j in jobs} == {1}
+    assert len(jobs) == 8
+
+
+def test_unknown_churn_level_rejected():
+    with pytest.raises(ValueError):
+        scale_sweep.run_one("ufab", k=4, churn="hurricane", duration=0.001)
+
+
+def test_cell_rejects_fault_schedules():
+    with pytest.raises(ValueError):
+        scale_sweep.cell("ufab", k=4, churn="low", duration=0.001,
+                         faults={"events": []})
+
+
+def test_solver_equivalence_small_cell():
+    verdict = scale_sweep.verify_solver_equivalence(
+        scheme="ufab", k=4, churn="low", duration=0.004, seed=5)
+    assert verdict["matches"], (
+        "vectorized solver diverged from scalar:\n"
+        f"scalar: {verdict['scalar']}\nvector: {verdict['vector']}")
+    assert verdict["vector_solves"] > 0  # the vector path actually ran
+
+
+def test_solver_env_pinned_and_restored(monkeypatch):
+    monkeypatch.setenv("REPRO_SOLVER", "scalar")
+    row = scale_sweep.run_one("ufab", k=4, churn="low", duration=0.002,
+                              seed=5, solver="vector")
+    assert row["solver_mode"] == "vector"
+    import os
+    assert os.environ["REPRO_SOLVER"] == "scalar"
+
+
+def test_row_reports_scale_counters():
+    row = scale_sweep.run_one("ufab", k=4, churn="low", duration=0.002,
+                              seed=5)
+    assert row["hosts"] == 16  # k=4 fat-tree
+    assert row["schedule_events"] > 0
+    assert row["events_processed"] > 0
+    assert "vector_solves" in row["solver_stats"]
