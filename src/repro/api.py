@@ -148,7 +148,15 @@ class Scenario:
         params: Optional[UFabParams] = None,
         flowlet_gap_s: float = 200e-6,
     ) -> "Scenario":
-        """Pick the fabric scheme: ``ufab``/``ufab-prime``/``pwc``/..."""
+        """Pick the fabric scheme by registry name.
+
+        Any name (or alias) registered in
+        :mod:`repro.baselines.registry` works — the paper's own
+        ``ufab``/``ufab-prime``/``pwc``/``es+clove``/``wcc+ecmp``
+        plus the related-work rivals ``soze``/``qshare``/``utas``;
+        ``repro.baselines.scheme_names()`` lists them all and
+        ``docs/SCHEMES.md`` documents each.
+        """
         self._scheme = name
         if params is not None:
             self._params = params

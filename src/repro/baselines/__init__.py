@@ -1,5 +1,9 @@
-"""Baseline schemes the paper compares against (section 2.2, 5.1).
+"""Baseline schemes the paper compares against, plus rivals from the
+related work (section 2.2, 5.1; see ``docs/SCHEMES.md``).
 
+* :mod:`~repro.baselines.registry` — the scheme registry: every fabric
+  the grids can build, with capability flags (``uses_probes``,
+  ``work_conserving``, ``bounded_latency``).
 * :mod:`~repro.baselines.wcc` — Seawall-style weighted congestion
   control on a Swift-like delay signal (the "WCC" in PicNIC'+WCC+Clove).
 * :mod:`~repro.baselines.picnic` — PicNIC': edge-only bandwidth
@@ -11,6 +15,12 @@
   selection (guarantee-agnostic, the Case-2 failure mode).
 * :mod:`~repro.baselines.ecmp` — static hash path selection with an
   optional hash-polarization mode (Figure 3).
+* :mod:`~repro.baselines.soze` — Söze: one end-to-end telemetry scalar
+  driving weighted AIMD allocation.
+* :mod:`~repro.baselines.queuebind` — QShare: dynamic tenant-queue
+  binding at sender edges, work-conserving guarantees without probes.
+* :mod:`~repro.baselines.utas` — μTAS: time-aware gate-schedule shaping
+  for the bounded-latency axis.
 """
 
 from repro.baselines.base import BaselineFabric, BaselinePair
@@ -20,6 +30,7 @@ from repro.baselines.elasticswitch import ElasticSwitchRA
 from repro.baselines.clove import CloveSelector
 from repro.baselines.ecmp import EcmpSelector, StaticSelector
 from repro.baselines.fabrics import ESCloveFabric, PWCFabric, make_fabric
+from repro.baselines.registry import SchemeInfo, scheme_infos, scheme_names
 
 __all__ = [
     "BaselineFabric",
@@ -34,4 +45,7 @@ __all__ = [
     "PWCFabric",
     "ESCloveFabric",
     "make_fabric",
+    "SchemeInfo",
+    "scheme_infos",
+    "scheme_names",
 ]

@@ -178,6 +178,10 @@ class BaselinePair:
 class BaselineFabric:
     """A deployed baseline scheme: mirrors :class:`UFabFabric`'s API."""
 
+    #: Per-pair control-loop class; schemes that change the probe wire
+    #: format (e.g. Söze's folded scalar) override with a subclass.
+    pair_cls = BaselinePair
+
     def __init__(
         self,
         network: Network,
@@ -210,7 +214,7 @@ class BaselineFabric:
             candidates = (
                 self.rng.sample(all_paths, k) if len(all_paths) > k else list(all_paths)
             )
-        controller = BaselinePair(
+        controller = self.pair_cls(
             self,
             pair,
             candidates,
@@ -244,6 +248,10 @@ class BaselineFabric:
         pair = self.pairs[pair_id].pair
         pair.demand_bps = demand_bps
         self.network.refresh_pair(pair_id)
+
+    def probes_sent(self) -> int:
+        """Total probes launched across all live pair controllers."""
+        return sum(c.stats.get("probes_sent", 0) for c in self.pairs.values())
 
     def restart_host(self, host: str) -> None:
         """EdgeRestart fault: controllers on ``host`` lose their state."""

@@ -7,19 +7,23 @@ The paper compares uFAB against two combinations (section 5.1):
   balancing.
 * **ES+Clove** = ElasticSwitch (GP + RA) with Clove load balancing.
 
-``make_fabric`` also builds uFAB and uFAB' (without the bounded-latency
-optimization) so experiments can iterate over scheme names.
+``make_fabric`` resolves any registered scheme name through
+``repro.baselines.registry`` — this module registers the paper's own
+six (uFAB, uFAB', PWC, ES+Clove, and the two best-effort WCC+ECMP
+stacks); the rival schemes register themselves from their own modules.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.baselines import registry
 from repro.baselines.base import BaselineFabric
 from repro.baselines.clove import CloveSelector
 from repro.baselines.ecmp import EcmpSelector
 from repro.baselines.elasticswitch import ElasticSwitchRA
 from repro.baselines.picnic import ReceiverGrants
+from repro.baselines.registry import SchemeInfo
 from repro.baselines.wcc import SwiftWCC
 from repro.core.edge import install_ufab
 from repro.core.params import UFabParams
@@ -78,7 +82,79 @@ def WccEcmpFabric(
     )
 
 
+#: The paper's original comparison set; the full registry (rivals
+#: included) is ``registry.scheme_names()``.
 SCHEME_NAMES = ("ufab", "ufab-prime", "pwc", "es+clove")
+
+
+def _build_ufab(network, params, seed, flowlet_gap_s):
+    return install_ufab(network, params or UFabParams(), seed)
+
+
+def _build_ufab_prime(network, params, seed, flowlet_gap_s):
+    params = params or UFabParams()
+    return install_ufab(network, params.replace(two_stage_admission=False), seed)
+
+
+def _build_wcc_ecmp(network, params, seed, flowlet_gap_s):
+    return WccEcmpFabric(network, params, seed)
+
+
+def _build_wcc_ecmp_polarized(network, params, seed, flowlet_gap_s):
+    return WccEcmpFabric(network, params, seed, polarized=True)
+
+
+# Probe sizing: μFAB's probe is 52 bytes at the resource model's 4-hop
+# reference path (Fig 15b), i.e. a 20-byte base plus 8 bytes of INT
+# (Φ_l, W_l) stamped per hop.  The baselines reuse the transport but
+# carry less: Clove-based stacks stamp 4 bytes of utilization per hop;
+# plain WCC carries only the end-to-end delay echo.
+register = registry.register
+register(SchemeInfo(
+    name="ufab", builder=_build_ufab,
+    summary="the paper's scheme: per-hop Φ/W INT telemetry, one-RTT "
+            "exact allocation with two-stage admission",
+    guarantee_model="exact", telemetry="per-hop INT (Φ_l, W_l)",
+    uses_probes=True, work_conserving=True, bounded_latency=True,
+    probe_base_bytes=20, probe_hop_bytes=8,
+))
+register(SchemeInfo(
+    name="ufab-prime", builder=_build_ufab_prime,
+    summary="uFAB without two-stage admission (the bounded-latency "
+            "optimization ablated)",
+    guarantee_model="exact", telemetry="per-hop INT (Φ_l, W_l)",
+    uses_probes=True, work_conserving=True, bounded_latency=False,
+    probe_base_bytes=20, probe_hop_bytes=8,
+))
+register(SchemeInfo(
+    name="pwc", builder=PWCFabric,
+    summary="PicNIC' receiver grants + Swift WCC + Clove load balancing",
+    guarantee_model="floor", telemetry="e2e delay + per-hop utilization",
+    uses_probes=True, work_conserving=True, bounded_latency=False,
+    probe_base_bytes=20, probe_hop_bytes=4,
+))
+register(SchemeInfo(
+    name="es+clove", builder=ESCloveFabric,
+    summary="ElasticSwitch guarantee partitioning/rate allocation + "
+            "Clove load balancing",
+    guarantee_model="floor", telemetry="e2e delay + per-hop utilization",
+    uses_probes=True, work_conserving=True, bounded_latency=False,
+    probe_base_bytes=20, probe_hop_bytes=4,
+))
+register(SchemeInfo(
+    name="wcc+ecmp", builder=_build_wcc_ecmp,
+    summary="production best-effort stack: Swift WCC over flow-hash ECMP",
+    guarantee_model="weighted", telemetry="e2e delay",
+    uses_probes=True, work_conserving=True, bounded_latency=False,
+    probe_base_bytes=20, probe_hop_bytes=0,
+))
+register(SchemeInfo(
+    name="wcc+ecmp-polarized", builder=_build_wcc_ecmp_polarized,
+    summary="WCC over a polarized ECMP hash (section 2.1 pathology)",
+    guarantee_model="weighted", telemetry="e2e delay",
+    uses_probes=True, work_conserving=True, bounded_latency=False,
+    probe_base_bytes=20, probe_hop_bytes=0,
+))
 
 
 def make_fabric(
@@ -88,18 +164,10 @@ def make_fabric(
     seed: int = 1,
     flowlet_gap_s: float = 200e-6,
 ):
-    """Build a fabric by scheme name; all expose add_pair/remove_pair."""
-    params = params or UFabParams()
-    if name == "ufab":
-        return install_ufab(network, params, seed)
-    if name == "ufab-prime":
-        return install_ufab(network, params.replace(two_stage_admission=False), seed)
-    if name == "pwc":
-        return PWCFabric(network, params, seed, flowlet_gap_s)
-    if name == "es+clove":
-        return ESCloveFabric(network, params, seed, flowlet_gap_s)
-    if name == "wcc+ecmp":
-        return WccEcmpFabric(network, params, seed)
-    if name == "wcc+ecmp-polarized":
-        return WccEcmpFabric(network, params, seed, polarized=True)
-    raise ValueError(f"unknown scheme {name!r}")
+    """Build a fabric by scheme name; all expose add_pair/remove_pair.
+
+    Resolves through :mod:`repro.baselines.registry`, so rival schemes
+    (``soze``, ``qshare``, ``utas``) and aliases work everywhere this is
+    plumbed.
+    """
+    return registry.build(name, network, params, seed, flowlet_gap_s)

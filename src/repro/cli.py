@@ -214,6 +214,33 @@ def _resilience(args) -> None:
     _write_obs(args, rows_raw)
 
 
+def _rivals(args) -> None:
+    """``repro rivals``: the related-work head-to-head grid."""
+    from repro.experiments import fig_rivals
+
+    rows_raw = fig_rivals.run_grid(
+        schemes=tuple(args.schemes or fig_rivals.RIVAL_SCHEMES),
+        duration=args.duration,
+        **_grid_kwargs(args),
+    )
+    rows = [
+        [r["scheme"],
+         f"{100 * r['compliance']:.1f}%",
+         f"{100 * r['work_conservation']:.1f}%",
+         f"{r['rtt_p99_s'] * 1e6:.0f}", f"{r['rtt_max_s'] * 1e6:.0f}",
+         (f"{r['probe_overhead_bps'] / 1e6:.1f} Mbps"
+          if r["uses_probes"] else "none"),
+         "yes" if r["bounded_latency_by_design"] else "no"]
+        for r in rows_raw
+    ]
+    print(format_table(
+        "Rivals head-to-head: compliance x work conservation x tail x overhead",
+        ["scheme", "compliance", "work-cons", "p99 (us)", "max (us)",
+         "probe cost", "bounded"],
+        rows))
+    _write_obs(args, rows_raw)
+
+
 def _faults_cmd(args) -> None:
     """``repro faults``: print the spec grammar / validate a schedule."""
     from repro.faults import GRAMMAR, parse_faults
@@ -441,6 +468,9 @@ COMMANDS: Dict[str, Dict] = {
     "resilience": {"fn": _resilience,
                    "help": "fault sweep: probe loss + link flaps",
                    "duration": 0.04, "grid": True},
+    "rivals": {"fn": _rivals,
+               "help": "related-work head-to-head (all six schemes)",
+               "duration": 0.08, "grid": True},
     "tables": {"fn": _tables, "help": "Tables 3-4 resource models",
                "duration": 0.0, "grid": False},
     "overhead": {"fn": _overhead, "help": "Figure 15b probing overhead",
@@ -585,7 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     s = sub.add_parser(
-        "scale", parents=[runner_opts, _obs_parent()],
+        "scale", parents=[runner_opts, _obs_parent(), _faults_parent()],
         help="cluster-scale tenant-churn sweep (k=16 fat-tree)",
         description="Drive k-ary fat-trees under a seed-reproducible "
                     "tenant-churn schedule and report throughput, "

@@ -31,6 +31,9 @@ SCHEME_LABELS = {
     "ideal": "Ideal",
     "wcc+ecmp": "WCC+ECMP",
     "wcc+ecmp-polarized": "WCC+ECMP (polarized)",
+    "soze": "Söze",
+    "qshare": "QShare",
+    "utas": "μTAS",
 }
 
 

@@ -82,8 +82,16 @@ def run_one(
     seed: int = DEFAULT_SEED,
     aggregate: bool = True,
     solver: Optional[str] = None,
+    faults: Optional[Dict[str, object]] = None,
 ) -> Dict[str, Any]:
     """One (scheme, k, churn) cell; returns a JSON-ready row.
+
+    ``faults`` is a fault-schedule config (see
+    :meth:`repro.faults.FaultSchedule.to_config`) composed *with* the
+    churn plane: the injector drives link flaps / probe loss / restarts
+    against the same fabric the churn injector is adding and removing
+    pairs on, which is the adversarial combination the resilience grid
+    alone cannot produce.
 
     ``solver`` pins ``REPRO_SOLVER`` for this cell (``scalar`` /
     ``vector`` / ``auto``); ``None`` inherits the process environment.
@@ -108,6 +116,12 @@ def run_one(
         injector = install_churn(
             net, fabric, schedule,
             unit_bandwidth=params.unit_bandwidth, aggregate=aggregate)
+        fault_injector = None
+        if faults:
+            from repro.faults import install_faults
+
+            fault_injector = install_faults(net, fabric, faults,
+                                            horizon=duration)
         net.run(duration)
     finally:
         if solver is not None:
@@ -134,6 +148,8 @@ def run_one(
         "churn_report": injector.report(),
         "solver_stats": solver_stats,
     }
+    if fault_injector is not None:
+        row["fault_report"] = fault_injector.report()
     return row
 
 
@@ -146,11 +162,9 @@ def cell(
     aggregate: bool = True,
     faults: Optional[Dict[str, object]] = None,
 ) -> Dict[str, Any]:
-    """Runner grid cell (``faults`` accepted for API uniformity)."""
-    if faults:
-        raise ValueError("scale cells do not take fault schedules yet")
+    """Runner grid cell; ``faults`` compose with the churn schedule."""
     return run_one(scheme, k=k, churn=churn, duration=duration, seed=seed,
-                   aggregate=aggregate)
+                   aggregate=aggregate, faults=faults)
 
 
 def grid(

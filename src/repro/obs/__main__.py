@@ -8,6 +8,9 @@ Subfunctions (exactly one per invocation):
                                 is out of sync with the registry
 * ``--check-links PATH [...]``  exit 1 on broken relative Markdown links
                                 (files or directories)
+* ``--check-schemes [PATH]``    exit 1 if any scheme registered in
+                                ``repro.baselines.registry`` is missing
+                                from PATH (default docs/SCHEMES.md)
 """
 
 from __future__ import annotations
@@ -16,9 +19,15 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.obs.docs import broken_links, check_docs, generated_markdown
+from repro.obs.docs import (
+    broken_links,
+    check_docs,
+    check_schemes_doc,
+    generated_markdown,
+)
 
 DEFAULT_DOCS_PATH = "docs/METRICS.md"
+DEFAULT_SCHEMES_PATH = "docs/SCHEMES.md"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -37,6 +46,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             f"(default: {DEFAULT_DOCS_PATH})")
     group.add_argument("--check-links", metavar="PATH", nargs="+",
                        help="check relative Markdown links in files/dirs")
+    group.add_argument("--check-schemes", metavar="PATH", nargs="?",
+                       const=DEFAULT_SCHEMES_PATH,
+                       help=f"verify every registered scheme is documented "
+                            f"in PATH (default: {DEFAULT_SCHEMES_PATH})")
     args = parser.parse_args(argv)
 
     if args.dump_docs:
@@ -53,6 +66,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {problem}", file=sys.stderr)
         if not problems:
             print(f"{args.check_docs} is in sync")
+        return 1 if problems else 0
+    if args.check_schemes:
+        problems = check_schemes_doc(args.check_schemes)
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check_schemes} documents every registered scheme")
         return 1 if problems else 0
     problems = broken_links(args.check_links)
     for path, target in problems:

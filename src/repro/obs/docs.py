@@ -32,6 +32,9 @@ _INSTRUMENTED_MODULES = (
     "repro.core.edge",
     "repro.faults.injector",
     "repro.workloads.tenants",
+    "repro.baselines.soze",
+    "repro.baselines.queuebind",
+    "repro.baselines.utas",
 )
 
 
@@ -138,6 +141,33 @@ def check_docs(path: str) -> List[str]:
             f"--write-docs {path}"
         ]
     return []
+
+
+def check_schemes_doc(path: str) -> List[str]:
+    """Problems that make the scheme doc drift from the registry.
+
+    Every canonical scheme name registered in
+    ``repro.baselines.registry`` must appear in ``path`` (inside
+    backticks, the doc's convention for scheme names) — the CI docs job
+    runs this as ``python -m repro.obs --check-schemes docs/SCHEMES.md``
+    so adding a scheme without documenting it fails the build.
+    """
+    from repro.baselines import registry
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        return [f"{path}: cannot read ({exc})"]
+    problems = []
+    for name in registry.scheme_names():
+        if f"`{name}`" not in text:
+            problems.append(
+                f"{path}: registered scheme `{name}` is undocumented; "
+                "add a section for it (see the 'Adding a new scheme' "
+                "walkthrough in that file)"
+            )
+    return problems
 
 
 # ----------------------------------------------------------------------

@@ -99,6 +99,15 @@ def _probe_fastpath_grid(schemes, seeds, duration, degrees) -> List[Job]:
     return out
 
 
+def _rivals_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    from repro.experiments import fig_rivals
+
+    return fig_rivals.grid(
+        schemes=schemes or fig_rivals.RIVAL_SCHEMES,
+        duration=duration, seeds=seeds,
+    )
+
+
 def _scale_grid(schemes, seeds, duration, degrees) -> List[Job]:
     """Cluster-scale churn sweep: scheme x k in {8,16} x churn level.
 
@@ -142,6 +151,9 @@ GRIDS: Dict[str, Dict[str, Any]] = {
                   "help": "partial deployment + headroom cells"},
     "resilience": {"build": _resilience_grid, "duration": 0.04,
                    "help": "fault sweep: scheme x loss-rate/MTBF x seed"},
+    "rivals": {"build": _rivals_grid, "duration": 0.05,
+               "help": "related-work head-to-head: all six headline "
+                       "schemes x seed"},
     "scale": {"build": _scale_grid, "duration": 0.015,
               "help": "k=8/16 fat-tree tenant-churn sweep "
                       "(events/sec + peak-RSS gate)"},

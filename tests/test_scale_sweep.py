@@ -29,10 +29,29 @@ def test_unknown_churn_level_rejected():
         scale_sweep.run_one("ufab", k=4, churn="hurricane", duration=0.001)
 
 
-def test_cell_rejects_fault_schedules():
-    with pytest.raises(ValueError):
-        scale_sweep.cell("ufab", k=4, churn="low", duration=0.001,
-                         faults={"events": []})
+def test_cell_composes_faults_with_churn():
+    from repro.faults import parse_faults
+
+    faults = parse_faults("probe_loss:0.5", horizon=0.003, seed=5).to_config()
+    clean = scale_sweep.cell("ufab", k=4, churn="low", duration=0.003, seed=5)
+    faulted = scale_sweep.cell("ufab", k=4, churn="low", duration=0.003,
+                               seed=5, faults=faults)
+    assert "fault_report" not in clean
+    report = faulted["fault_report"]
+    assert report["probe_drops"] > 0
+    # Churn still ran underneath the fault schedule.
+    assert faulted["churn_report"]["arrivals"] > 0
+
+
+def test_cell_faults_with_link_flaps_and_churn():
+    from repro.faults import parse_faults
+
+    faults = parse_faults("link_flaps:mtbf=0.002,mttr=0.0005/core",
+                          horizon=0.004, seed=5).to_config()
+    row = scale_sweep.cell("ufab", k=4, churn="low", duration=0.004,
+                           seed=5, faults=faults)
+    assert row["fault_report"]["link_failures"] > 0
+    assert row["churn_report"]["arrivals"] > 0
 
 
 def test_solver_equivalence_small_cell():
