@@ -141,7 +141,7 @@ def scheme_infos() -> List[SchemeInfo]:
 
 def probe_overhead_bps(
     name: str, probes_sent: int, duration_s: float,
-    mean_hops: float = 4.0,
+    mean_hops: float = 4.0, plan: object = None,
 ) -> float:
     """Telemetry wire cost of a run: bits/s of probe traffic.
 
@@ -149,11 +149,26 @@ def probe_overhead_bps(
     directions of the probe round trip are included in
     ``probe_base_bytes``).  Probe-free schemes cost zero by
     construction.
+
+    ``plan`` (a telemetry plan spec or
+    :class:`repro.core.telemetry.TelemetryPlan`) rescales the per-hop
+    term to the plan's expected stamped records and adds its fixed
+    header delta (hop bitmap) — meaningful for the uFAB family, whose
+    hop bytes are the Figure-22 records plans thin out.  ``None`` and
+    ``"full"`` are identical to the classic accounting.
     """
     info = get(name)
     if not probes_sent or duration_s <= 0.0:
         return 0.0
-    bits = 8.0 * (info.probe_base_bytes + info.probe_hop_bytes * mean_hops)
+    hop_bytes = info.probe_hop_bytes * mean_hops
+    base_bytes = float(info.probe_base_bytes)
+    if plan is not None:
+        from repro.core.telemetry import get_plan
+
+        p = get_plan(plan) if isinstance(plan, str) else plan
+        hop_bytes = info.probe_hop_bytes * p.expected_records(mean_hops)
+        base_bytes += 2 * (p.base_bytes - 4)  # bitmap, both directions
+    bits = 8.0 * (base_bytes + hop_bytes)
     return probes_sent * bits / duration_s
 
 

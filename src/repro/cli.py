@@ -319,13 +319,84 @@ def _scale(args) -> None:
             r["scheme"], r["k"], r["hosts"], r["churn"],
             rep.get("arrivals", 0), rep.get("departures", 0),
             f"{peak_members or '-'}/{peak_groups or '-'}", folding,
+            (f"{r['weighted_alloc_error']:.3f}"
+             if r.get("weighted_alloc_error") is not None else "-"),
             f"{r['events_processed']:,}",
             r["solver_stats"].get("vector_solves", 0),
         ])
     print(format_table(
         "Cluster-scale churn sweep (peak pairs/groups = flow-group folding)",
         ["scheme", "k", "hosts", "churn", "arrive", "depart",
-         "pairs/groups", "fold", "events", "vec solves"], rows))
+         "pairs/groups", "fold", "w-err", "events", "vec solves"], rows))
+    _write_obs(args, rows_raw)
+
+
+def _telemetry(args) -> None:
+    """``repro telemetry``: the telemetry-plan frontier / CI gate."""
+    from repro.experiments import fig_telemetry
+
+    if args.resources:
+        from repro.resources import telemetry_plan_table
+
+        rows = [
+            [c["plan"], f"{c['expected_records']:.2f}",
+             f"{c['worst_case_records']:.0f}",
+             f"{c['telemetry_bytes']:.1f}",
+             f"x{c['telemetry_byte_reduction']:.2f}",
+             f"{c['phv_bits']:.0f}", f"{c['salu_ops_per_hop']:.0f}",
+             f"{c['sram_bits_per_port']:.0f}"]
+            for c in telemetry_plan_table(plans=tuple(args.plans),
+                                          n_hops=args.hops)
+        ]
+        print(format_table(
+            f"Telemetry-plan hardware costs ({args.hops}-hop path)",
+            ["plan", "E[recs]", "worst", "bytes", "byte red",
+             "PHV bits", "SALU/hop", "SRAM b/port"], rows))
+        return
+
+    if args.gate:
+        import json
+
+        with open(args.gate, encoding="utf-8") as fh:
+            report = json.load(fh)
+        rows_raw = report["rows"] if isinstance(report, dict) else report
+        verdict = fig_telemetry.gate(rows_raw, plan=args.gate_plan)
+        entry = verdict["entry"] or {}
+        print(f"telemetry gate ({verdict['plan']}): "
+              f"byte reduction x{entry.get('byte_reduction') or 0:.2f} "
+              f"(floor x{verdict['min_byte_reduction']:.1f}), "
+              f"stamp reduction x{entry.get('stamp_reduction') or 0:.2f} "
+              f"(floor x{verdict['min_stamp_reduction']:.1f}), "
+              f"compliance drift {entry.get('compliance_drift') or 0:+.4f} "
+              f"(cap {verdict['max_compliance_drift']:.2f})")
+        if not verdict["passed"]:
+            for failure in verdict["failures"]:
+                print(f"  FAIL: {failure}", file=sys.stderr)
+            raise SystemExit(1)
+        print("  PASS")
+        return
+
+    rows_raw = fig_telemetry.run_grid(
+        plans=tuple(args.plans),
+        duration=args.duration,
+        seeds=tuple(args.seeds),
+        **_grid_kwargs(args),
+    )
+    rows = [
+        [e["plan"], e["n_seeds"],
+         f"{100 * e['compliance']:.2f}%",
+         f"{e['convergence_s'] * 1e3:.0f} ms",
+         f"{e['telemetry_bytes_per_sec'] / 1e3:.1f} KB/s",
+         f"x{e['byte_reduction']:.2f}" if e["byte_reduction"] else "-",
+         f"x{e['stamp_reduction']:.2f}" if e["stamp_reduction"] else "-",
+         f"{e['compliance_drift']:+.4f}"
+         if e["compliance_drift"] is not None else "-"]
+        for e in fig_telemetry.frontier(rows_raw)
+    ]
+    print(format_table(
+        "Telemetry-plan frontier: overhead vs guarantee fidelity",
+        ["plan", "seeds", "compliance", "converge", "telem B/s",
+         "byte red", "stamp red", "drift"], rows))
     _write_obs(args, rows_raw)
 
 
@@ -640,6 +711,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="assert scalar/vector solver equivalence on a "
                         "small cell instead of running the sweep")
 
+    from repro.core.telemetry import DEFAULT_SAMPLED_PLAN
+    from repro.experiments.fig_telemetry import PLANS as TELEMETRY_PLANS
+
+    tp = sub.add_parser(
+        "telemetry", parents=[runner_opts, _obs_parent(), _faults_parent()],
+        help="telemetry-plan frontier: probe overhead vs guarantees",
+        description="Sweep the Fig-11 guarantee workload under each "
+                    "telemetry plan (full / sampled / delta / sketch) and "
+                    "print the overhead-vs-fidelity frontier.  --gate "
+                    "checks a BENCH_telemetry.json report against the CI "
+                    "thresholds (exit 1 on failure); --resources prints "
+                    "the analytic per-plan hardware cost table instead.",
+    )
+    tp.add_argument("--plans", nargs="*", default=list(TELEMETRY_PLANS),
+                    help="plan specs to sweep (default: the frontier set)")
+    tp.add_argument("--duration", type=float, default=0.3,
+                    help="simulated seconds per cell (default: 0.3)")
+    tp.add_argument("--seeds", nargs="*", type=int, default=[3],
+                    help="seeds per plan (default: 3)")
+    tp.add_argument("--gate", metavar="PATH", default=None,
+                    help="gate this BENCH_telemetry.json report instead "
+                         "of running the sweep (exit 1 on failure)")
+    tp.add_argument("--gate-plan", default=DEFAULT_SAMPLED_PLAN,
+                    help=f"plan the gate holds to its thresholds "
+                         f"(default: {DEFAULT_SAMPLED_PLAN})")
+    tp.add_argument("--resources", action="store_true",
+                    help="print the analytic wire/PHV/SALU/SRAM cost table")
+    tp.add_argument("--hops", type=int, default=5,
+                    help="path length for --resources (default: 5)")
+
     t = sub.add_parser(
         "trace",
         parents=[_faults_parent()],
@@ -676,6 +777,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name:10s} {spec['help']}")
         print("  bench      run a sweep grid, emit BENCH_*.json")
         print("  scale      cluster-scale tenant-churn sweep (k=16 fat-tree)")
+        print("  telemetry  telemetry-plan frontier: overhead vs guarantees")
         print("  trace      run one fully-instrumented cell, write its trace")
         print("  faults     print the fault-spec grammar / validate a schedule")
         print("\n(benchmarks/ regenerates everything: "
@@ -689,6 +791,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _bench(args)
         elif args.command == "scale":
             _scale(args)
+        elif args.command == "telemetry":
+            _telemetry(args)
         elif args.command == "trace":
             _trace(args)
         elif args.command == "faults":

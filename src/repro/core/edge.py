@@ -35,8 +35,9 @@ from repro.core.admission import (
 )
 from repro.core.corenode import CoreAgent, attach_core_agents
 from repro.core.params import UFabParams
-from repro.core.pathsel import PathBook, digest_hops, summarize_path
-from repro.core.probe import ProbeHeader, ProbeKind
+from repro.core.pathsel import PathBook, digest_hops, merge_hop_records, summarize_path
+from repro.core.probe import HopRecord, ProbeHeader, ProbeKind
+from repro.core.telemetry import M_BYTES_SAVED, M_STAMPS_SKIPPED, get_plan
 from repro.obs import OBS
 from repro.sim.engine import Event
 from repro.sim.host import VMPair
@@ -214,6 +215,10 @@ class PairController:
         self.pair = pair
         self.params = agent.params
         self.network = agent.network
+        self.plan = agent.plan
+        # Last-known hop records per candidate path (link name -> record)
+        # for reconstructing partial telemetry-plan views (sampled/delta).
+        self._hop_baseline: Dict[int, Dict[str, HopRecord]] = {}
         self.book = PathBook(candidates)
         self.current_idx = 0
         self.state = PairState.JOINING
@@ -244,6 +249,7 @@ class PairController:
             "migrations": 0,
             "probes_sent": 0,
             "probe_losses": 0,
+            "stamps_skipped": 0,
             "violating_time": 0.0,
         }
         self._last_violation_check = agent.network.sim.now
@@ -387,6 +393,7 @@ class PairController:
             if timeout_ev[0] is not None:
                 timeout_ev[0].cancel()
                 timeout_ev[0] = None
+            self._note_hops(idx, hdr.hops)
             quality = summarize_path(hdr.hops, self.phi(), now - sent_at, now, self.params)
             self.book.record(idx, quality)
             self.agent.release_header(hdr)
@@ -410,6 +417,16 @@ class PairController:
             })
         self.agent.launch_probe(self.pair, path, header, _stamp_on_hop, on_response)
 
+    def _note_hops(self, idx: int, hops) -> None:
+        """Seed path ``idx``'s last-known hop baseline from a fully
+        stamped probe (scouts always stamp full), so the first partial
+        data probes after a join/migration merge against fresh records
+        instead of an empty picture."""
+        if self.plan.reconstructs and hops:
+            baseline = self._hop_baseline.setdefault(idx, {})
+            for record in hops:
+                baseline[record.link_name] = record
+
     def _send_data_probe(self) -> None:
         """The self-clocked control probe on the current path."""
         # If the probe timer fired to get here, its event is spent;
@@ -429,14 +446,33 @@ class PairController:
         timeout = self.params.probe_timeout_rtts * max(self.base_rtt(idx), self.rtt_est)
         self._timeout_event = self.sim.schedule_transient(timeout, self._on_probe_loss)
         self.stats["probes_sent"] += 1
+        path = self.path(idx)
+        hop_filter = self.agent.plan_filter
+        if hop_filter is not None:
+            # Launch-time accounting of elided stamps: the sampled-plan
+            # decision is a pure function of (pair, seq, link), so
+            # counting here — rather than in transit — keeps the books
+            # identical across transit modes and probe drops.
+            plan = self.plan
+            pair_id = self.pair.pair_id
+            seq = header.seq
+            skipped = 0
+            for link in path:
+                if not plan.stamps_hop(pair_id, seq, link.name):
+                    skipped += 1
+            if skipped:
+                self.stats["stamps_skipped"] += skipped
+                if OBS.enabled:
+                    M_STAMPS_SKIPPED.inc(skipped)
         if OBS.enabled:
             _M_PROBES.inc()
             OBS.trace.record(sent_at, _EV_PROBE_SEND, {
                 "pair": self.pair.pair_id, "kind": "probe",
-                "seq": header.seq, "path": _path_label(self.path(idx)),
+                "seq": header.seq, "path": _path_label(path),
             })
         self.agent.launch_probe(
-            self.pair, self.path(idx), header, _probe_on_hop, self._on_data_response)
+            self.pair, path, header, _probe_on_hop, self._on_data_response,
+            hop_filter=hop_filter)
 
     def _on_data_response(self, header: ProbeHeader, now: float) -> None:
         """Echo of the control probe (bound method: no per-probe closure;
@@ -566,13 +602,32 @@ class PairController:
         self.rtt_est = 0.5 * self.rtt_est + 0.5 * rtt
         if header.phi_receiver is not None:
             self.phi_receiver = header.phi_receiver
+        hops = header.hops
+        plan = self.plan
+        if not plan.is_full:
+            if OBS.enabled:
+                # Figure-22 bytes this probe did not carry versus full,
+                # both directions (responses echo the stamped records).
+                saved = 8 * (len(self.path()) - len(hops)) + 4 - plan.base_bytes
+                if saved > 0:
+                    M_BYTES_SAVED.inc(2 * saved)
+            if plan.reconstructs:
+                hops = merge_hop_records(
+                    self.path(), hops,
+                    self._hop_baseline.setdefault(self.current_idx, {}))
+                if not hops:
+                    # No link on this path has ever stamped (the first
+                    # rounds sampled everything out): keep flying on the
+                    # current window rather than on invented telemetry.
+                    self._schedule_next_probe(now)
+                    return
         # Fused fold: PathQuality and the Eqn-3 window/entitlement/
         # increment mins in one pass over the hop records (bit-identical
         # to summarize_path + _window_from_hops, see digest_hops).
         quality, w_eqn3, entitlement, increment = digest_hops(
-            header.hops, self.phi(), rtt, now, self.params, self.base_rtt())
+            hops, self.phi(), rtt, now, self.params, self.base_rtt())
         self.book.record(self.current_idx, quality)
-        self._last_hops = header.hops
+        self._last_hops = hops
 
         # Scenario-2 (section 3.4): a pair whose demand stayed well below
         # its allowance must re-ramp from w' = r * T when demand resumes,
@@ -857,6 +912,7 @@ class PairController:
         self._better_since = None
         self._idle_since = None
         self._last_hops = None
+        self._hop_baseline.clear()
         self.book = PathBook(list(self.book.candidates))
         self.rtt_est = self.base_rtt(0)
         self.phi_receiver = math.inf
@@ -904,6 +960,10 @@ class EdgeAgent:
         self.network = network
         self.params = params
         self.rng = rng
+        self.plan = get_plan(params.telemetry_plan)
+        # Hop predicate handed to Network.send_probe for data probes;
+        # None for plans that stamp (or at least register) at every hop.
+        self.plan_filter = self.plan.hop_filter if self.plan.samples else None
         self.controllers: Dict[str, PairController] = {}
         self.freeze_until = 0.0
         # Receiver-side token admission hook: pair_id -> phi_receiver.
@@ -959,12 +1019,15 @@ class EdgeAgent:
         header: ProbeHeader,
         on_hop,
         on_response: Optional[Callable[[ProbeHeader, float], None]],
+        hop_filter=None,
     ) -> None:
         """Send a probe; the destination edge answers over the reverse path.
 
         The round-trip state (including the reverse path, resolved once
         here instead of per echo) lives in a pooled :class:`_RoundTrip`
-        rather than per-probe closures.
+        rather than per-probe closures.  ``hop_filter`` (a sampled
+        telemetry plan's predicate) suppresses ``on_hop`` on unsampled
+        hops; scouts and finish probes never pass one.
         """
         network = self.network
         free = self._rt_free
@@ -981,7 +1044,8 @@ class EdgeAgent:
         rt.on_response = on_response
         rt.reverse = network.topology.reverse_path(path)
         network.send_probe(
-            path, header, on_hop=on_hop, on_arrive=rt.at_destination, pure_hop=True)
+            path, header, on_hop=on_hop, on_arrive=rt.at_destination,
+            pure_hop=True, hop_filter=hop_filter)
 
 
 class UFabFabric:

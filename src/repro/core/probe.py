@@ -111,6 +111,10 @@ class ProbeHeader:
     # the header so the response callback needs no per-probe closure.
     sent_at: float = 0.0
     path_idx: int = -1
+    # Hop-presence bitmap decoded from a partial-stamping telemetry
+    # plan (bit i set = path hop i carried a record).  Only the codec
+    # sets this; the simulator carries hop identity on the records.
+    stamped_mask: Optional[int] = None
 
     @property
     def n_hops(self) -> int:
@@ -134,59 +138,102 @@ def speed_code(capacity: float) -> int:
     return min(SPEED_CODES, key=lambda c: abs(SPEED_CODES[c] - capacity))
 
 
-def encode_probe(header: ProbeHeader) -> bytes:
-    """Serialize to the Figure 22 layout (after the MAC/IP/SR headers)."""
+def _encode_record(out: bytearray, hop: HopRecord) -> None:
+    w = _quantize(hop.window_total, WINDOW_UNIT_BITS, 16)
+    phi_l = _quantize(hop.phi_total, 1.0, 16)
+    tx = _quantize(hop.tx_rate, TX_UNIT_BPS, 16)
+    q = _quantize(hop.queue, QUEUE_UNIT_BITS, 12)
+    c = speed_code(hop.capacity) & 0xF
+    out += struct.pack(">HHH", w, phi_l, tx)
+    out += ((q << 4) | c).to_bytes(2, "big")
+
+
+def _decode_record(data: bytes, offset: int) -> HopRecord:
+    w, phi_l, tx = struct.unpack_from(">HHH", data, offset)
+    tail = int.from_bytes(data[offset + 6 : offset + 8], "big")
+    return HopRecord(
+        window_total=w * WINDOW_UNIT_BITS,
+        phi_total=float(phi_l),
+        tx_rate=tx * TX_UNIT_BPS,
+        queue=(tail >> 4) * QUEUE_UNIT_BITS,
+        capacity=SPEED_CODES[tail & 0xF],
+    )
+
+
+def encode_probe(header: ProbeHeader, plan=None,
+                 stamped_mask: Optional[int] = None) -> bytes:
+    """Serialize to the Figure 22 layout (after the MAC/IP/SR headers).
+
+    ``plan`` (a :class:`repro.core.telemetry.TelemetryPlan`, or None for
+    today's ``full`` layout) selects the wire variant.  ``full`` and
+    ``sketch`` use the unmodified Figure-22 layout (``sketch`` simply
+    carries nHop <= 1); ``sampled``/``delta`` insert a 2-byte
+    hop-presence bitmap (``stamped_mask``: bit i set = path hop i
+    stamped) after ``phi`` so the edge can place the partial records.
+    """
     if header.n_hops > 15:
         raise ValueError("nHop is a 4-bit field; at most 15 hops")
+    partial = plan is not None and plan.kind in ("sampled", "delta")
     phi_q = _quantize(header.phi, 1.0, 24)
     out = bytearray()
     out.append((int(header.kind) & 0xF) << 4 | (header.n_hops & 0xF))
     out += phi_q.to_bytes(3, "big")
+    if partial:
+        mask = stamped_mask if stamped_mask is not None else (1 << header.n_hops) - 1
+        if mask >> 16:
+            raise ValueError("hop-presence bitmap is a 16-bit field")
+        if bin(mask).count("1") != header.n_hops:
+            raise ValueError(
+                f"stamped_mask has {bin(mask).count('1')} bits set "
+                f"for {header.n_hops} records")
+        out += mask.to_bytes(2, "big")
     for hop in header.hops:
-        w = _quantize(hop.window_total, WINDOW_UNIT_BITS, 16)
-        phi_l = _quantize(hop.phi_total, 1.0, 16)
-        tx = _quantize(hop.tx_rate, TX_UNIT_BPS, 16)
-        q = _quantize(hop.queue, QUEUE_UNIT_BITS, 12)
-        c = speed_code(hop.capacity) & 0xF
-        out += struct.pack(">HHH", w, phi_l, tx)
-        out += ((q << 4) | c).to_bytes(2, "big")
+        _encode_record(out, hop)
     return bytes(out)
 
 
-def decode_probe(data: bytes, pair_id: str = "") -> ProbeHeader:
-    """Parse the Figure 22 layout back into a :class:`ProbeHeader`."""
+def decode_probe(data: bytes, pair_id: str = "", plan=None) -> ProbeHeader:
+    """Parse the Figure 22 layout back into a :class:`ProbeHeader`.
+
+    With a partial-stamping ``plan`` the decoded header carries the
+    hop-presence bitmap in :attr:`ProbeHeader.stamped_mask`.
+    """
     if len(data) < 4:
         raise ValueError("truncated probe header")
+    partial = plan is not None and plan.kind in ("sampled", "delta")
     kind = ProbeKind(data[0] >> 4)
     n_hops = data[0] & 0xF
     phi = float(int.from_bytes(data[1:4], "big"))
-    expected = 4 + 8 * n_hops
+    offset = 4
+    mask: Optional[int] = None
+    if partial:
+        if len(data) < 6:
+            raise ValueError("truncated probe header (missing hop bitmap)")
+        mask = int.from_bytes(data[4:6], "big")
+        if bin(mask).count("1") != n_hops:
+            raise ValueError(
+                f"hop bitmap has {bin(mask).count('1')} bits set "
+                f"for nHop={n_hops}")
+        offset = 6
+    expected = offset + 8 * n_hops
     if len(data) < expected:
         raise ValueError(f"truncated probe: need {expected} bytes, got {len(data)}")
     hops: List[HopRecord] = []
-    offset = 4
     for _ in range(n_hops):
-        w, phi_l, tx = struct.unpack_from(">HHH", data, offset)
-        tail = int.from_bytes(data[offset + 6 : offset + 8], "big")
-        q = tail >> 4
-        c = tail & 0xF
-        hops.append(
-            HopRecord(
-                window_total=w * WINDOW_UNIT_BITS,
-                phi_total=float(phi_l),
-                tx_rate=tx * TX_UNIT_BPS,
-                queue=q * QUEUE_UNIT_BITS,
-                capacity=SPEED_CODES[c],
-            )
-        )
+        hops.append(_decode_record(data, offset))
         offset += 8
-    return ProbeHeader(kind=kind, pair_id=pair_id, phi=phi, window=0.0, hops=hops)
+    return ProbeHeader(kind=kind, pair_id=pair_id, phi=phi, window=0.0,
+                       hops=hops, stamped_mask=mask)
 
 
-def probe_wire_size(n_hops: int, underlay_headers: int = 42) -> int:
+def probe_wire_size(n_hops: int, underlay_headers: int = 42, plan=None) -> int:
     """Total probe bytes on the wire: MAC+IP+SR headers plus Figure 22.
 
     A 5-hop DCN stays under the paper's "less than 100 bytes" telemetry
-    budget (section 4.2).
+    budget (section 4.2).  With a telemetry ``plan``, ``n_hops`` counts
+    *stamped* records and the plan's fixed header (bitmap, fold
+    registers) is charged instead of the full layout's.
     """
-    return underlay_headers + 4 + 8 * n_hops
+    if plan is None:
+        return underlay_headers + 4 + 8 * n_hops
+    return underlay_headers + plan.telemetry_bytes(n_hops)

@@ -131,7 +131,8 @@ def run_one(
         rtt_cdf=rtts.rtts,
         probes_sent=n_probes,
         probe_overhead_bps=registry.probe_overhead_bps(
-            scheme, n_probes, duration, mean_hops=mean_hops),
+            scheme, n_probes, duration, mean_hops=mean_hops,
+            plan=getattr(params, "telemetry_plan", None)),
         delivered_bps=delivered,
         deliverable_bps=deliverable,
         events_processed=net.sim.events_processed,

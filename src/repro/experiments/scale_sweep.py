@@ -74,6 +74,41 @@ def scale_network(k: int, link_capacity: float = 10e9,
     return net
 
 
+def weighted_allocation_error(net: Network,
+                              params: UFabParams) -> Optional[float]:
+    """Söze-style fairness axis: phi-weighted mean relative deviation of
+    delivered rates from the ideal weighted water-filling entitlement.
+
+    Each active pair's entitlement is its weighted share of the tightest
+    link on its path — ``min_l (phi_i / Phi_l) * eta * C_l`` with
+    ``Phi_l`` the total tokens crossing link ``l`` — capped at the
+    pair's demand.  Söze reports exactly this deviation for its in-band
+    weighted max-min allocator; computing it here puts the churn sweep
+    on the same axis, so telemetry-plan and scheme ablations can show
+    what allocation fidelity an overhead reduction costs.  ``None`` when
+    no pair carries tokens (e.g. the fabric drained at the horizon).
+    """
+    phi_load: Dict[str, float] = {}
+    for pair_id, path in net.pair_paths.items():
+        phi = net.pairs[pair_id].phi
+        for link in path:
+            phi_load[link.name] = phi_load.get(link.name, 0.0) + phi
+    weighted_err = total_phi = 0.0
+    for pair_id, path in net.pair_paths.items():
+        pair = net.pairs[pair_id]
+        if pair.phi <= 0.0 or not path:
+            continue
+        share = min(pair.phi / phi_load[link.name]
+                    * params.target_capacity(link.capacity) for link in path)
+        share = min(share, pair.demand_bps)
+        if share <= 0.0:
+            continue
+        err = abs(net.delivered_rate(pair_id) - share) / share
+        weighted_err += pair.phi * err
+        total_phi += pair.phi
+    return weighted_err / total_phi if total_phi else None
+
+
 def run_one(
     scheme: str,
     k: int = 16,
@@ -132,6 +167,7 @@ def run_one(
 
     solver_stats = net.solver.stats.as_dict()
     delivered = [e.delivered_rate for e in net.solver.flows.values()]
+    alloc_error = weighted_allocation_error(net, params)
     row: Dict[str, Any] = {
         "scheme": scheme,
         "k": k,
@@ -145,6 +181,8 @@ def run_one(
         "schedule_events": len(schedule),
         "active_pairs": len(net.pairs),
         "delivered_total_bps": round(sum(delivered), 3),
+        "weighted_alloc_error": (
+            round(alloc_error, 6) if alloc_error is not None else None),
         "churn_report": injector.report(),
         "solver_stats": solver_stats,
     }

@@ -5,6 +5,8 @@ from repro.resources.model import (
     TofinoResourceModel,
     probing_overhead,
     probing_overhead_curve,
+    telemetry_plan_costs,
+    telemetry_plan_table,
 )
 
 __all__ = [
@@ -12,4 +14,6 @@ __all__ = [
     "TofinoResourceModel",
     "probing_overhead",
     "probing_overhead_curve",
+    "telemetry_plan_costs",
+    "telemetry_plan_table",
 ]

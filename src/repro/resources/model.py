@@ -68,6 +68,67 @@ def probing_overhead_bound(
 
 
 # ----------------------------------------------------------------------
+# Telemetry plans: wire / PHV / ALU / SRAM cost per plan
+# ----------------------------------------------------------------------
+
+# Stateful-ALU operations one uFAB-C stamp costs per hop: the full plan
+# reads the four Figure-22 registers (W_l, Phi_l, tx_l, q_l); sampled
+# adds the seq-mod-k (or hash-coin) predicate; delta adds a compare
+# against the last-stamped view per field plus its conditional update;
+# sketch adds the cross-multiplied bottleneck compare and the queue max.
+_PLAN_SALU_OPS = {"full": 4, "sampled": 5, "delta": 9, "sketch": 6}
+
+
+def telemetry_plan_costs(
+    plan_spec: str = "full",
+    n_hops: int = 5,
+    underlay_headers: int = 42,
+) -> Dict[str, float]:
+    """Analytic per-probe cost of a telemetry plan on an ``n_hops`` path.
+
+    Wire bytes use the plan's *expected* stamped records (what the
+    fabric pays on average); the PHV record slots use the *worst case*
+    the parser must provision (every hop may stamp under ``sampled:p``
+    and ``delta``, so only ``sketch`` shrinks the header vector — the
+    Söze-style constant-size result).  ``delta`` instead pays SRAM: one
+    last-stamped view (4 x 16-bit quantized fields) per egress port.
+    Reductions are versus the ``full`` plan on the same path.
+    """
+    from repro.core.telemetry import get_plan
+
+    plan = get_plan(plan_spec)
+    expected = plan.expected_records(n_hops)
+    worst_records = 1 if plan.kind == "sketch" else n_hops
+    telemetry_bytes = plan.base_bytes + 8.0 * expected
+    full_bytes = 4.0 + 8.0 * n_hops
+    # PHV: kind/nHop + 24-bit phi (+ 16-bit hop bitmap), then 64 bits
+    # per provisioned record slot.
+    phv_bits = 8 + 24 + (16 if plan.base_bytes == 6 else 0) + 64 * worst_records
+    full_phv_bits = 8 + 24 + 64 * n_hops
+    return {
+        "plan": plan.spec,
+        "expected_records": expected,
+        "worst_case_records": float(worst_records),
+        "telemetry_bytes": telemetry_bytes,
+        "wire_bytes": underlay_headers + telemetry_bytes,
+        "telemetry_byte_reduction": full_bytes / telemetry_bytes,
+        "phv_bits": float(phv_bits),
+        "phv_reduction": full_phv_bits / phv_bits,
+        "salu_ops_per_hop": float(_PLAN_SALU_OPS[plan.kind]),
+        "sram_bits_per_port": 64.0 if plan.kind == "delta" else 0.0,
+    }
+
+
+def telemetry_plan_table(
+    plans: Sequence[str] = ("full", "sampled:k=4", "sampled:p=0.25",
+                            "delta:rel=0.1", "sketch"),
+    n_hops: int = 5,
+) -> List[Dict[str, float]]:
+    """One :func:`telemetry_plan_costs` row per plan (CLI / docs table)."""
+    return [telemetry_plan_costs(p, n_hops=n_hops) for p in plans]
+
+
+# ----------------------------------------------------------------------
 # Table 3: uFAB-E on a Xilinx Alveo U200
 # ----------------------------------------------------------------------
 

@@ -99,6 +99,18 @@ def _probe_fastpath_grid(schemes, seeds, duration, degrees) -> List[Job]:
     return out
 
 
+def _telemetry_grid(schemes, seeds, duration, degrees) -> List[Job]:
+    """Telemetry-plan frontier cells: plan x seed on the Fig-11 workload.
+
+    Gate with ``repro telemetry --gate BENCH_telemetry.json``: the
+    default sampled plan must keep >= 2x geomean telemetry-byte
+    reduction within 2 points of the full plan's compliance.
+    """
+    from repro.experiments import fig_telemetry
+
+    return fig_telemetry.grid(duration=duration, seeds=seeds)
+
+
 def _rivals_grid(schemes, seeds, duration, degrees) -> List[Job]:
     from repro.experiments import fig_rivals
 
@@ -154,6 +166,9 @@ GRIDS: Dict[str, Dict[str, Any]] = {
     "rivals": {"build": _rivals_grid, "duration": 0.05,
                "help": "related-work head-to-head: all six headline "
                        "schemes x seed"},
+    "telemetry": {"build": _telemetry_grid, "duration": 0.3,
+                  "help": "telemetry-plan frontier: plan x seed "
+                          "(byte-reduction vs compliance gate)"},
     "scale": {"build": _scale_grid, "duration": 0.015,
               "help": "k=8/16 fat-tree tenant-churn sweep "
                       "(events/sec + peak-RSS gate)"},

@@ -97,7 +97,7 @@ class _TransitEntry:
     ``hop``'s link at time ``t``.  Lives in the link's sorted ledger
     until applied (``fire``) or withdrawn by materialization."""
 
-    __slots__ = ("t", "seq", "flight", "hop", "link", "applied")
+    __slots__ = ("t", "seq", "flight", "hop", "link", "applied", "stamp")
 
     def __lt__(self, other: "_TransitEntry") -> bool:
         return (self.t, self.seq) < (other.t, other.seq)
@@ -105,8 +105,21 @@ class _TransitEntry:
     def fire(self, link: Link) -> None:
         """Perform the stamp the per-hop event would have done at
         (t, seq): integrate the link to the emission instant, then stamp.
-        Entries exist only for legs with an ``on_hop``."""
+        Entries exist only for legs with an ``on_hop``.
+
+        A no-``stamp`` entry (a telemetry plan's hop filter elided this
+        hop's stamp) skips the hop callback but still (a) anchors this
+        flight in the link's pending ledger so ``Link.set_inflow`` finds
+        and materializes it when a queue starts building mid-leg, and
+        (b) integrates the link to the emission instant — per-hop
+        simulation syncs the link at every emission via ``Link.delay``,
+        and matching those float integration points bit-for-bit is what
+        keeps sampled-plan runs identical across transit modes.
+        """
         self.applied = True
+        if not self.stamp:
+            link._integrate(self.t)
+            return
         flight = self.flight
         flight.ensure_prior(self.hop)
         link._integrate(self.t)
@@ -121,15 +134,16 @@ class _Flight:
     helper/arrival events so turbulence can cancel them.
     """
 
-    __slots__ = ("network", "probe", "hops", "on_hop", "on_arrive", "on_drop",
-                 "seq", "pure", "entries", "times", "t_arr", "ev_pre",
-                 "ev_arr", "fast", "done")
+    __slots__ = ("network", "probe", "hops", "on_hop", "hop_filter",
+                 "on_arrive", "on_drop", "seq", "pure", "entries", "times",
+                 "t_arr", "ev_pre", "ev_arr", "fast", "done")
 
     def __init__(self) -> None:
         self.network = None
         self.probe = None
         self.hops: tuple = ()
         self.on_hop = None
+        self.hop_filter = None
         self.on_arrive = None
         self.on_drop = None
         self.seq = 0
@@ -187,26 +201,36 @@ class _Flight:
         if self.ev_arr is not None:
             self.ev_arr.cancel()
             self.ev_arr = None
-        resume = -1
         times = self.times
-        if self.entries:
-            entries = self.entries
+        entries = self.entries
+        # The resume point is found over hop indices, never entry-list
+        # indices, so the logic holds whether entries cover every hop
+        # (stamped legs — filtered hops ride along as no-stamp markers)
+        # or none (``on_hop``-less legs).  An entry a same-instant flush
+        # already applied pins its hop in the past even when its
+        # emission time equals ``now``.
+        applied_hops = {e.hop for e in entries if e.applied}
+        resume = -1
+        for idx, t in enumerate(times):
+            if t >= now and idx not in applied_hops:
+                resume = idx
+                break
+        if entries:
+            cut = len(entries)
             for idx, entry in enumerate(entries):
-                if entry.applied:
-                    continue
-                if entry.t < now:
+                if resume >= 0 and entry.hop >= resume:
+                    cut = idx
+                    break
+                if not entry.applied:
                     # Was due strictly before the turbulence instant:
                     # apply with calm-path semantics (valid up to now).
                     entry.link._flush_upto(entry.t, entry.seq)
-                    continue
-                resume = idx
-                break
-            if resume >= 0:
+            if cut < len(entries):
                 # Withdraw the not-yet-due entries; the slow path will
                 # re-insert each stamp at its actual emission instant
                 # (same (t, seq) when calm, later under queueing).
                 efree = net._entry_free
-                for entry in entries[resume:]:
+                for entry in entries[cut:]:
                     try:
                         entry.link._pending.remove(entry)
                     except ValueError:  # pragma: no cover - defensive
@@ -215,14 +239,7 @@ class _Flight:
                     entry.link = None
                     if len(efree) < _POOL_MAX:
                         efree.append(entry)
-                del entries[resume:]
-        else:
-            # No stamps on this leg: resume at the first emission that
-            # has not strictly happened yet.
-            for idx, t in enumerate(times):
-                if t >= now:
-                    resume = idx
-                    break
+                del entries[cut:]
         if resume < 0:
             # Every emission already happened; only the arrival remains
             # (the probe is past its last switch — failures can no
@@ -447,6 +464,7 @@ class Network:
         on_drop: Optional[Callable[[Probe], None]] = None,
         host_delay: float = 0.0,
         pure_hop: bool = False,
+        hop_filter: Optional[Callable[[object, Link], bool]] = None,
     ) -> Probe:
         """Launch a probe along ``path``; callbacks fire in simulated time.
 
@@ -459,6 +477,13 @@ class Network:
         making it safe to apply deferred from the pending-emission
         ledger.  Legs with an impure ``on_hop`` (e.g. baselines sampling
         instantaneous utilization) always take the per-hop path.
+
+        ``hop_filter(payload, link)`` — a sampled telemetry plan's hop
+        predicate — suppresses ``on_hop`` on hops where it returns
+        False, turning them into pure-transit hops (no ledger entry, no
+        stamp) on both paths.  It must be a pure function of the payload
+        and link identity (launch-time decidable) so fast and per-hop
+        transit agree; :meth:`TelemetryPlan.hop_filter` qualifies.
         """
         sim = self.sim
         now = sim.now
@@ -475,9 +500,17 @@ class Network:
         hops = tuple(path)
         flight = self._new_flight(probe, hops, on_hop, on_arrive, on_drop)
         flight.pure = on_hop is None or pure_hop
+        flight.hop_filter = hop_filter if on_hop is not None else None
         if (self._transit_fast and hops
                 and self._probe_interceptor is None
-                and (on_hop is None or (pure_hop and now >= _METER_SAFE_T))):
+                and (on_hop is None
+                     or (pure_hop and (now >= _METER_SAFE_T
+                         # A leg whose filter excludes every hop stamps
+                         # nothing, so virgin TX meters are never read:
+                         # it may go fast even before _METER_SAFE_T.
+                         or (hop_filter is not None
+                             and not any(hop_filter(payload, link)
+                                         for link in hops)))))):
             t = now + host_delay
             times = flight.times
             for link in hops:
@@ -505,8 +538,12 @@ class Network:
         flight.t_arr = t_arr
         if flight.on_hop is not None:
             times = flight.times
+            hop_filter = flight.hop_filter
+            payload = flight.probe.payload
             for hop, link in enumerate(flight.hops):
-                self._add_entry(flight, hop, link, times[hop])
+                self._add_entry(
+                    flight, hop, link, times[hop],
+                    stamp=hop_filter is None or hop_filter(payload, link))
         flight.ev_pre = self.sim.at_transient(
             flight.times[-1], self._transit_prearrive, flight)
         self._fast_flights[flight.seq] = flight
@@ -573,18 +610,21 @@ class Network:
             extra = verdict
         on_hop = flight.on_hop
         if on_hop is not None:
-            if flight.pure:
-                # Stamp through the link's ledger so same-instant stamps
-                # from fast and slow legs apply in one global
-                # (emission-time, launch-seq) order, independent of how
-                # events interleaved within this instant.
-                self._add_entry(flight, index, link, now)
-            else:
-                on_hop(probe.payload, link, now)
+            hop_filter = flight.hop_filter
+            if hop_filter is None or hop_filter(probe.payload, link):
+                if flight.pure:
+                    # Stamp through the link's ledger so same-instant
+                    # stamps from fast and slow legs apply in one global
+                    # (emission-time, launch-seq) order, independent of
+                    # how events interleaved within this instant.
+                    self._add_entry(flight, index, link, now)
+                else:
+                    on_hop(probe.payload, link, now)
         probe.hops_taken += 1
         sim.schedule_transient(link.delay(now) + extra, self._transit_step, flight, index + 1)
 
-    def _add_entry(self, flight: _Flight, hop: int, link: Link, t: float) -> None:
+    def _add_entry(self, flight: _Flight, hop: int, link: Link, t: float,
+                   stamp: bool = True) -> None:
         efree = self._entry_free
         if efree:
             entry = efree.pop()
@@ -596,6 +636,7 @@ class Network:
         entry.hop = hop
         entry.link = link
         entry.applied = False
+        entry.stamp = stamp
         flight.entries.append(entry)
         insort(link._pending, entry)
 
@@ -633,6 +674,7 @@ class Network:
         flight.probe = None
         flight.hops = ()
         flight.on_hop = None
+        flight.hop_filter = None
         flight.on_arrive = None
         flight.on_drop = None
         flight.ev_pre = None

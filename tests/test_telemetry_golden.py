@@ -1,0 +1,158 @@
+"""Golden-bytes tests for the telemetry-plan wire variants.
+
+The Figure-22 layout is the paper's on-wire contract; the telemetry
+plans of PR 8 extend it with a 2-byte hop-presence bitmap for partial
+stamping (``sampled``/``delta``) and a folded single-record layout for
+``sketch``.  These tests freeze the exact bytes each variant produces
+so a codec regression cannot slip through a round-trip test that would
+happily round-trip the *wrong* layout, and they pin the parse-side
+validation (bitmap popcount vs nHop, truncation, mask width).
+"""
+
+import pytest
+
+from repro.core.probe import (
+    HopRecord,
+    ProbeHeader,
+    ProbeKind,
+    decode_probe,
+    encode_probe,
+    probe_wire_size,
+)
+from repro.core.telemetry import FULL_PLAN, get_plan, parse_plan
+
+# Two hops with exactly-representable quantized values: w in 8 KB
+# units, tx in 10 Mbps units, q in 8 Kb units, capacity a speed code.
+HOP_A = HopRecord(window_total=3 * 8192, phi_total=7.0, tx_rate=5 * 10e6,
+                  queue=2 * 8192, capacity=10e9, link_name="a")
+HOP_B = HopRecord(window_total=1 * 8192, phi_total=9.0, tx_rate=2 * 10e6,
+                  queue=0.0, capacity=100e9, link_name="b")
+
+
+def probe(hops, kind=ProbeKind.PROBE, phi=1000.0):
+    return ProbeHeader(kind=kind, pair_id="p", phi=phi, window=0.0,
+                       hops=list(hops))
+
+
+# Frozen wire images.  byte0 = kind<<4 | nHop; 3-byte phi; for the
+# partial plans a 2-byte big-endian hop-presence bitmap; 8 bytes per
+# stamped record (>HHH then q<<4|speed_code).
+GOLDEN = {
+    "full": "120003e800030007000500210001000900020005",
+    "sampled": "120003e8000500030007000500210001000900020005",
+    "delta": "120003e8000300030007000500210001000900020005",
+    "sketch": "110003e80003000700050021",
+    "response": "200000fa",
+}
+
+
+def test_full_plan_bytes_are_frozen():
+    assert encode_probe(probe([HOP_A, HOP_B])).hex() == GOLDEN["full"]
+    # The full plan is bit-identical to the plan-less classic layout.
+    assert encode_probe(probe([HOP_A, HOP_B]), plan=FULL_PLAN).hex() == \
+        GOLDEN["full"]
+
+
+def test_sampled_plan_inserts_hop_bitmap():
+    data = encode_probe(probe([HOP_A, HOP_B]), plan=get_plan("sampled:k=2"),
+                        stamped_mask=0b0101)
+    assert data.hex() == GOLDEN["sampled"]
+    # bitmap sits at bytes 4:6; records start at 6.
+    assert data[4:6] == b"\x00\x05"
+    assert data[6:] == encode_probe(probe([HOP_A, HOP_B]))[4:]
+
+
+def test_delta_plan_inserts_hop_bitmap():
+    data = encode_probe(probe([HOP_A, HOP_B]), plan=get_plan("delta:rel=0.1"),
+                        stamped_mask=0b0011)
+    assert data.hex() == GOLDEN["delta"]
+
+
+def test_sketch_plan_uses_classic_single_record_layout():
+    data = encode_probe(probe([HOP_A]), plan=get_plan("sketch"))
+    assert data.hex() == GOLDEN["sketch"]
+    # No bitmap: sketch folds into one record of the unmodified layout.
+    assert data == encode_probe(probe([HOP_A]))
+
+
+def test_empty_response_bytes():
+    data = encode_probe(probe([], kind=ProbeKind.RESPONSE, phi=250.0))
+    assert data.hex() == GOLDEN["response"]
+
+
+@pytest.mark.parametrize("spec,mask,hops", [
+    ("full", None, [HOP_A, HOP_B]),
+    ("sampled:k=2", 0b0101, [HOP_A, HOP_B]),
+    ("sampled:p=0.5,seed=9", 0b1001, [HOP_A, HOP_B]),
+    ("delta:rel=0.2", 0b0010, [HOP_A]),
+    ("sketch", None, [HOP_B]),
+])
+def test_roundtrip_every_plan(spec, mask, hops):
+    plan = get_plan(spec)
+    header = probe(hops)
+    data = encode_probe(header, plan=plan, stamped_mask=mask)
+    decoded = decode_probe(data, pair_id="p", plan=plan)
+    assert decoded.kind == ProbeKind.PROBE
+    assert decoded.phi == header.phi
+    assert decoded.hops == [
+        HopRecord(h.window_total, h.phi_total, h.tx_rate, h.queue, h.capacity)
+        for h in hops
+    ]
+    assert decoded.stamped_mask == (mask if plan.kind in ("sampled", "delta")
+                                    else None)
+    assert len(data) == probe_wire_size(len(hops), underlay_headers=0,
+                                        plan=plan)
+
+
+def test_partial_default_mask_is_all_hops():
+    plan = get_plan("sampled:k=4")
+    data = encode_probe(probe([HOP_A, HOP_B]), plan=plan)
+    assert decode_probe(data, plan=plan).stamped_mask == 0b11
+
+
+def test_mask_popcount_must_match_record_count():
+    plan = get_plan("sampled:k=2")
+    with pytest.raises(ValueError, match="bits set"):
+        encode_probe(probe([HOP_A, HOP_B]), plan=plan, stamped_mask=0b0111)
+
+
+def test_mask_must_fit_sixteen_bits():
+    plan = get_plan("sampled:k=2")
+    with pytest.raises(ValueError, match="16-bit"):
+        encode_probe(probe([HOP_A]), plan=plan, stamped_mask=1 << 16)
+
+
+def test_decode_rejects_bitmap_popcount_mismatch():
+    plan = get_plan("sampled:k=2")
+    data = bytearray(encode_probe(probe([HOP_A, HOP_B]), plan=plan,
+                                  stamped_mask=0b0101))
+    data[5] = 0x07  # three bits set, nHop still 2
+    with pytest.raises(ValueError, match="bits set"):
+        decode_probe(bytes(data), plan=plan)
+
+
+def test_decode_rejects_truncated_partial_header():
+    plan = get_plan("sampled:k=2")
+    data = encode_probe(probe([HOP_A]), plan=plan, stamped_mask=0b1)
+    with pytest.raises(ValueError, match="bitmap"):
+        decode_probe(data[:5], plan=plan)
+    with pytest.raises(ValueError, match="truncated probe"):
+        decode_probe(data[:-1], plan=plan)
+
+
+def test_wire_size_charges_plan_header():
+    # classic: 4 + 8*n; partial plans add the 2-byte bitmap.
+    assert probe_wire_size(5, underlay_headers=0) == 44
+    assert probe_wire_size(5, underlay_headers=0, plan=FULL_PLAN) == 44
+    assert probe_wire_size(2, underlay_headers=0,
+                           plan=get_plan("sampled:k=4")) == 22
+    assert probe_wire_size(1, underlay_headers=0, plan=get_plan("sketch")) == 12
+
+
+def test_plan_specs_intern_and_normalize():
+    assert get_plan("sampled:k=4") is get_plan("sampled:k=4")
+    assert parse_plan("full").is_full
+    with pytest.raises(ValueError):
+        parse_plan("sampled:k=0")
+    with pytest.raises(ValueError):
+        parse_plan("mystery")

@@ -28,6 +28,7 @@ from repro.sim.topology import dumbbell, three_tier_testbed
 FIG11 = "repro.experiments.fig11_guarantee:cell"
 FIG12 = "repro.experiments.fig12_incast:cell"
 RESIL = "repro.experiments.fig_resilience:cell"
+TELEM = "repro.experiments.fig_telemetry:cell"
 
 # Fault-spec strings exercising every injector mechanism against the
 # fast path: loss/delay interceptor windows, link flaps (turbulence +
@@ -113,6 +114,73 @@ def test_trace_streams_identical_up_to_append_order():
                       key=lambda r: (r[0], r[1], json.dumps(r[2], sort_keys=True)))
 
     assert canon(fast) == canon(slow)
+
+
+# ----------------------------------------------------------------------
+# Telemetry plans: every stamping policy must be transit-mode invariant
+# ----------------------------------------------------------------------
+#
+# Sampling decisions are pure functions of (seed, pair, seq, link) made
+# at launch time; delta state only advances inside the same
+# (emission-time, launch-seq)-ordered ledger stamps both modes share;
+# sketch folding is header-local.  So every plan — not just ``full`` —
+# must produce identical rows under fast and slow transit, and the
+# probabilistic plans must be bit-reproducible run over run.
+
+TELEM_PLANS = ("full", "sampled:k=4", "sampled:p=0.5,seed=11",
+               "delta:rel=0.1", "sketch")
+
+
+def _telemetry_job(plan, seed):
+    # join_interval compressed so all 12 pairs are active within the
+    # short horizon and probes cross contended links in both modes.
+    return Job("fig_telemetry", TELEM, scheme="ufab", seed=seed,
+               params={"plan": plan, "duration": 0.006,
+                       "join_interval": 0.0004, "seed": seed})
+
+
+def _strip_transit(payload):
+    # fastpath_legs is the one row field that *should* differ by mode.
+    return {k: v for k, v in _strip(payload).items() if k != "fastpath_legs"}
+
+
+@pytest.mark.parametrize("plan", TELEM_PLANS)
+def test_telemetry_plan_rows_bit_identical_across_transit(plan):
+    fast = _run(_telemetry_job(plan, 3), "fast")
+    slow = _run(_telemetry_job(plan, 3), "slow")
+    assert _strip_transit(fast) == _strip_transit(slow)
+    assert slow["fastpath_legs"] == 0
+
+
+@pytest.mark.parametrize("plan", ("sampled:k=4", "sampled:p=0.5,seed=11",
+                                  "delta:rel=0.1"))
+@pytest.mark.parametrize("seed", (3, 5))
+def test_partial_plans_reproducible_run_over_run(plan, seed):
+    first = _run(_telemetry_job(plan, seed), "fast")
+    again = _run(_telemetry_job(plan, seed), "fast")
+    assert first == again
+
+
+def test_full_plan_skips_nothing_sampled_plan_does():
+    for transit in ("fast", "slow"):
+        full = _run(_telemetry_job("full", 3), transit)
+        assert full["stamps_skipped"] == 0
+        assert full["records_stamped"] > 0
+    full = _run(_telemetry_job("full", 3), "fast")
+    sampled = _run(_telemetry_job("sampled:k=4", 3), "fast")
+    assert sampled["stamps_skipped"] > 0
+    assert sampled["records_stamped"] < full["records_stamped"]
+    assert sampled["telemetry_bytes"] < full["telemetry_bytes"]
+    # The guarantee outcome survives the thinner telemetry.
+    assert sampled["compliance"] == pytest.approx(full["compliance"], abs=0.05)
+
+
+def test_sampled_plans_keep_the_fast_path_engaged():
+    # Filtered hops ride the ledger as no-stamp markers (so mid-leg
+    # queue buildup still materializes the flight and timing stays
+    # exact); the legs themselves still collapse to flat events.
+    sampled = _run(_telemetry_job("sampled:k=4", 3), "fast")
+    assert sampled["fastpath_legs"] > 0
 
 
 # ----------------------------------------------------------------------
