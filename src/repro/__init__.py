@@ -24,6 +24,13 @@ The lower-level pieces remain public for custom wiring::
     net.run(until=0.05)
     print(net.delivered_rate(pair.pair_id))
 
+The core-switch controller behind uFAB is pluggable
+(:mod:`repro.core.controller`): ``Scenario....backend("pipeline")``,
+``--backend pipeline`` on any grid command, or ``REPRO_BACKEND=pipeline``
+swaps the behavioral agent for the register-accurate P4 pipeline
+emulation (:mod:`repro.core.p4pipe`); both backends are bit-identical
+on probe payloads and traces (see ``docs/API.md``).
+
 Packages:
 
 * :mod:`repro.core` — uFAB itself (edge agent, informative core, token
@@ -37,6 +44,13 @@ Packages:
 """
 
 from repro.api import Scenario, ScenarioResult
+from repro.core.controller import (
+    SwitchController,
+    attach_core_agents,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
 from repro.core.edge import UFabFabric, install_ufab
 from repro.core.params import UFabParams
 from repro.baselines.fabrics import ESCloveFabric, PWCFabric, make_fabric
@@ -56,6 +70,11 @@ __version__ = "1.0.0"
 __all__ = [
     "Scenario",
     "ScenarioResult",
+    "SwitchController",
+    "attach_core_agents",
+    "backend_names",
+    "register_backend",
+    "resolve_backend",
     "UFabFabric",
     "install_ufab",
     "UFabParams",

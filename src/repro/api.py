@@ -24,16 +24,17 @@ fault schedule (:mod:`repro.faults` spec string, config mapping, or
 and hands back ``(network, fabric)`` for scenarios that drive custom
 workloads or failures mid-run (see ``examples/``).
 
-The old entry points remain importable from their original homes with
-unchanged behavior; the copies in this module are deprecation shims
-that point callers at the builder.
+The pre-Scenario entry points (``testbed_network`` / ``build_scheme`` /
+``install_ufab``) went through a deprecation cycle here and are gone;
+they remain importable from their original homes
+(:mod:`repro.experiments.common`, :mod:`repro.baselines.fabrics`,
+:mod:`repro.core.edge`) for internal plumbing.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-import warnings
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.params import UFabParams
@@ -44,9 +45,6 @@ from repro.sim.topology import Topology, three_tier_testbed
 __all__ = [
     "Scenario",
     "ScenarioResult",
-    "testbed_network",
-    "build_scheme",
-    "install_ufab",
 ]
 
 TenantSpec = Union[VMPair, Tuple[str, str, float], Mapping[str, Any]]
@@ -115,6 +113,7 @@ class Scenario:
     def __init__(self, topology_factory) -> None:
         self._topology_factory = topology_factory
         self._scheme = "ufab"
+        self._backend: Optional[str] = None
         self._params: Optional[UFabParams] = None
         self._flowlet_gap_s = 200e-6
         self._seed = 1
@@ -161,6 +160,24 @@ class Scenario:
         if params is not None:
             self._params = params
         self._flowlet_gap_s = flowlet_gap_s
+        return self
+
+    def backend(self, name: Optional[str]) -> "Scenario":
+        """Pick the core-switch controller backend by registry name.
+
+        Any name registered in :mod:`repro.core.controller` works —
+        ``"behavioral"`` (the reference event-driven agent) or
+        ``"pipeline"`` (register-accurate Tofino pipeline emulation);
+        ``repro.core.controller.backend_names()`` lists them all and
+        ``docs/API.md`` documents the seam.  ``None`` (the default)
+        defers to ``$REPRO_BACKEND`` or ``"behavioral"``.  Only schemes
+        that attach core agents (the uFAB family) are affected.
+        """
+        if name is not None:
+            from repro.core.controller import resolve_backend
+
+            name = resolve_backend(name)  # validate eagerly
+        self._backend = name
         return self
 
     def params(self, params: UFabParams) -> "Scenario":
@@ -267,7 +284,7 @@ class Scenario:
         from repro.baselines.fabrics import make_fabric
 
         fabric = make_fabric(self._scheme, net, self._params, self._seed,
-                             self._flowlet_gap_s)
+                             self._flowlet_gap_s, backend=self._backend)
         for at, kwargs, candidates in self._tenants:
             pair = kwargs.get("_pair") or VMPair(**kwargs)
             args = (pair,) if candidates is None else (pair, candidates)
@@ -331,45 +348,3 @@ class Scenario:
             events_processed=net.sim.events_processed,
             fault_report=injector.report() if injector is not None else None,
         )
-
-
-# ----------------------------------------------------------------------
-# Deprecation shims for the pre-Scenario entry points
-# ----------------------------------------------------------------------
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.api.{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def testbed_network(link_capacity: float = 10e9,
-                    resolve_interval: float = 0.0) -> Network:
-    """Deprecated: use ``Scenario.testbed()`` (or
-    :func:`repro.experiments.common.testbed_network` internally)."""
-    _deprecated("testbed_network", "Scenario.testbed()")
-    from repro.experiments.common import testbed_network as real
-
-    return real(link_capacity=link_capacity, resolve_interval=resolve_interval)
-
-
-def build_scheme(scheme: str, network: Network,
-                 params: Optional[UFabParams] = None, seed: int = 1,
-                 flowlet_gap_s: float = 200e-6):
-    """Deprecated: use ``Scenario.testbed().scheme(...)``."""
-    _deprecated("build_scheme", "Scenario.scheme()")
-    from repro.baselines.fabrics import make_fabric
-
-    return make_fabric(scheme, network, params, seed, flowlet_gap_s)
-
-
-def install_ufab(network: Network, params: Optional[UFabParams] = None,
-                 seed: int = 1):
-    """Deprecated: use ``Scenario.scheme("ufab")`` (or
-    :func:`repro.core.edge.install_ufab` internally)."""
-    _deprecated("install_ufab", 'Scenario.scheme("ufab")')
-    from repro.core.edge import install_ufab as real
-
-    return real(network, params, seed)

@@ -74,6 +74,7 @@ def _grid_kwargs(args) -> dict:
         "cache_dir": args.cache_dir,
         "obs": _obs_config(args),
         "faults": _faults_config(args),
+        "backend": getattr(args, "backend", None),
     }
 
 
@@ -459,6 +460,7 @@ def _bench(args) -> None:
         out=args.out,
         profile=args.profile,
         transit=args.transit,
+        backend=args.backend,
     )
     rows = [
         [r["experiment"], r["scheme"], r["seed"],
@@ -584,13 +586,27 @@ def _faults_parent() -> argparse.ArgumentParser:
     return p
 
 
+def _backend_parent() -> argparse.ArgumentParser:
+    """Shared ``--backend NAME`` option (core-controller backends)."""
+    from repro.core.controller import backend_names
+
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--backend", choices=backend_names(), default=None,
+                   help="core-switch controller backend for every cell "
+                        "(default: $REPRO_BACKEND or 'behavioral'; "
+                        "'pipeline' = register-accurate Tofino emulation, "
+                        "distinct cache keys)")
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate uFAB (SIGCOMM'22) evaluation figures.",
     )
     runner_opts = _runner_parent()
-    grid_opts = [runner_opts, _obs_parent(), _faults_parent()]
+    grid_opts = [runner_opts, _obs_parent(), _faults_parent(),
+                 _backend_parent()]
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available figures")
     for name, spec in COMMANDS.items():
@@ -634,7 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="schedule seed (default: 0, or the spec's seed: "
                         "clause)")
 
-    b = sub.add_parser("bench", parents=[runner_opts],
+    b = sub.add_parser("bench", parents=[runner_opts, _backend_parent()],
                        help="run a sweep grid, emit BENCH_*.json")
     b.add_argument("--grid", choices=sorted(GRIDS), default="fig11",
                    help="which grid to run (default: fig11)")
@@ -686,7 +702,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     s = sub.add_parser(
-        "scale", parents=[runner_opts, _obs_parent(), _faults_parent()],
+        "scale", parents=[runner_opts, _obs_parent(), _faults_parent(),
+                          _backend_parent()],
         help="cluster-scale tenant-churn sweep (k=16 fat-tree)",
         description="Drive k-ary fat-trees under a seed-reproducible "
                     "tenant-churn schedule and report throughput, "

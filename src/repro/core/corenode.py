@@ -16,11 +16,14 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.core.bloom import CountingBloomFilter
+from repro.core.controller import SwitchController, attach_core_agents
 from repro.core.params import UFabParams
 from repro.core.probe import HopRecord, ProbeHeader, ProbeKind
 from repro.core.telemetry import M_DELTAS_SUPPRESSED, M_SKETCH_FOLDS, get_plan
 from repro.obs import OBS
 from repro.sim.link import Link
+
+__all__ = ["CoreAgent", "attach_core_agents"]
 
 # ---------------------------------------------------------------------
 # Observability declarations (recorded only when OBS.enabled)
@@ -69,8 +72,14 @@ _M_STALE_STAMPS = OBS.metrics.counter(
          "of live registers (StaleTelemetry fault active on the link).")
 
 
-class CoreAgent:
-    """Per-egress-port switch agent."""
+class CoreAgent(SwitchController):
+    """Per-egress-port switch agent — the ``behavioral`` backend.
+
+    The direct implementation of the section 3.6/4.2 algorithm, and the
+    reference the register-accurate ``pipeline`` backend
+    (:class:`repro.core.p4pipe.PipelineCoreAgent`) is cross-validated
+    against bit-for-bit.
+    """
 
     def __init__(self, link: Link, params: Optional[UFabParams] = None,
                  bloom_seed: int = 0) -> None:
@@ -425,16 +434,5 @@ class CoreAgent:
         return self.params.target_capacity(self.link.capacity)
 
 
-def attach_core_agents(topology, params: Optional[UFabParams] = None) -> Dict[str, CoreAgent]:
-    """Attach a CoreAgent to every link; returns name -> agent.
-
-    The paper deploys uFAB-C in switches; attaching to host egress links
-    too is equivalent to uFAB-E's local NIC admission and keeps the
-    telemetry model uniform.
-    """
-    agents: Dict[str, CoreAgent] = {}
-    for seed, (name, link) in enumerate(sorted(topology.links.items())):
-        agent = CoreAgent(link, params, bloom_seed=seed)
-        link.core_agent = agent
-        agents[name] = agent
-    return agents
+# attach_core_agents moved to repro.core.controller (the backend seam);
+# re-exported above so existing callers keep working unchanged.

@@ -33,7 +33,7 @@ from repro.core.admission import (
     proportional_share,
     window_entitlement,
 )
-from repro.core.corenode import CoreAgent, attach_core_agents
+from repro.core.controller import SwitchController, attach_core_agents
 from repro.core.params import UFabParams
 from repro.core.pathsel import PathBook, digest_hops, merge_hop_records, summarize_path
 from repro.core.probe import HopRecord, ProbeHeader, ProbeKind
@@ -144,14 +144,14 @@ def _probe_on_hop(payload: ProbeHeader, link, now: float) -> None:
     only time-indexed link state and per-agent stamp state, so it is
     ``pure_hop`` for the flat-transit ledger.
     """
-    agent: Optional[CoreAgent] = link.core_agent
+    agent: Optional[SwitchController] = link.core_agent
     if agent is not None:
         agent.on_probe(payload, now)
 
 
 def _stamp_on_hop(payload: ProbeHeader, link, now: float) -> None:
     """Hop work for scout probes: stamp INT without registering."""
-    agent: Optional[CoreAgent] = link.core_agent
+    agent: Optional[SwitchController] = link.core_agent
     if agent is not None:
         agent.stamp(payload, now)
 
@@ -1052,11 +1052,12 @@ class UFabFabric:
     """The installed uFAB deployment: all edge agents plus the core."""
 
     def __init__(self, network: Network, params: Optional[UFabParams] = None,
-                 seed: int = 1) -> None:
+                 seed: int = 1, backend: Optional[str] = None) -> None:
         self.network = network
         self.params = params or UFabParams()
         self.rng = random.Random(seed)
-        self.core_agents = attach_core_agents(network.topology, self.params)
+        self.core_agents = attach_core_agents(network.topology, self.params,
+                                              backend=backend)
         self.edges: Dict[str, EdgeAgent] = {}
         for name, host in network.hosts.items():
             agent = EdgeAgent(name, network, self.params, random.Random(self.rng.random()))
@@ -1164,6 +1165,12 @@ def install_ufab(
     network: Network,
     params: Optional[UFabParams] = None,
     seed: int = 1,
+    backend: Optional[str] = None,
 ) -> UFabFabric:
-    """Deploy uFAB on a simulated network (edge agents + informative core)."""
-    return UFabFabric(network, params, seed)
+    """Deploy uFAB on a simulated network (edge agents + informative core).
+
+    ``backend`` selects the core-switch controller implementation
+    (:func:`repro.core.controller.backend_names`: ``behavioral`` or the
+    register-accurate ``pipeline``); ``None`` defers to ``REPRO_BACKEND``.
+    """
+    return UFabFabric(network, params, seed, backend=backend)

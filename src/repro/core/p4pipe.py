@@ -1,0 +1,916 @@
+"""The ``pipeline`` backend: register-accurate Tofino-like emulation.
+
+:class:`PipelineCoreAgent` re-implements the uFAB-C algorithm of
+:class:`repro.core.corenode.CoreAgent` *through* an explicit
+match-action pipeline model (:class:`P4Pipeline`): every data-plane
+probe opens a packet context and walks numbered stages, each register
+interaction is a declared register-ALU access, and the hardware
+constraints a real Tofino imposes are enforced as typed errors —
+
+* a **stage budget** (:data:`TOFINO_STAGES`, exceeded at program build
+  time -> :class:`StageBudgetError`),
+* **one read-modify-write per register per packet**, with accesses in
+  stage order (violations -> :class:`RegisterAccessError`),
+* per-stage **stateful-ALU capacity** (:class:`SaluBudgetError`) and
+  per-stage VLIW action slots,
+* the Figure-22 **PHV layout** parsed field-by-field, with the 4-bit
+  nHop bound enforced as :class:`PhvCapacityError` at stamp time.
+
+The same program description feeds :mod:`repro.resources`, so the
+Tables 3-4 budgets are *derived* from the emulated pipeline's actual
+stage/register/PHV usage rather than hand-entered.
+
+Bit-identity with the behavioral backend
+----------------------------------------
+The conformance suite (``tests/test_backend_conformance.py``) asserts
+exact equality of probe payloads, HopRecords, and traces between the
+two backends.  Three modeling concessions keep the emulation honest
+about *constraints* while staying bit-identical on *values*:
+
+* **Full-precision values.**  Registers hold the same Python floats the
+  behavioral agent holds; field widths are declared for resource
+  accounting, not rounded through.  (Wire quantization already lives in
+  ``repro.core.probe``'s codec, shared by both backends.)
+* **Shared Bloom storage.**  The two Bloom *banks* are stage-resident
+  register arrays for access accounting, but their counters live in one
+  :class:`~repro.core.bloom.CountingBloomFilter` — the same object, same
+  hash, same collisions as the behavioral filter.  The insert-if-absent
+  predicate (which real SALUs resolve with a predicated increment in
+  the same pass) is resolved in emulation between the two bank
+  accesses.
+* **Wide state.**  The TX meter's (t, bytes, ewma) state and the delta
+  plan's last-view tuple exceed one 64-bit SALU word; they are modeled
+  as paired-SALU registers (2 slots) rather than split across stages.
+
+An RMW's result is forwarded in PHV metadata, so a later stage that
+needs the value (e.g. stamping Phi_l after registration updated it)
+reads the forwarded copy instead of issuing a second — illegal —
+register access.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.bloom import CountingBloomFilter
+from repro.core.controller import SwitchController
+from repro.core import corenode as _behavioral
+from repro.core.corenode import (
+    _EV_QUEUE,
+    _EV_REGISTER,
+    _EV_SWEEP,
+    _G_PHI,
+    _G_WINDOW,
+    _M_BLOOM_FP,
+    _M_STALE_STAMPS,
+    _M_SWEPT,
+    _S_QUEUE,
+    _S_TX,
+)
+from repro.core.params import UFabParams
+from repro.core.probe import HopRecord, ProbeHeader, ProbeKind
+from repro.core.telemetry import (
+    M_DELTAS_SUPPRESSED,
+    M_SKETCH_FOLDS,
+    TelemetryPlan,
+    get_plan,
+)
+from repro.obs import OBS
+from repro.sim.link import Link
+
+__all__ = [
+    "TOFINO_STAGES",
+    "SALUS_PER_STAGE",
+    "VLIW_SLOTS_PER_STAGE",
+    "PHV_BITS_TOTAL",
+    "PipelineError",
+    "StageBudgetError",
+    "RegisterAccessError",
+    "SaluBudgetError",
+    "PhvCapacityError",
+    "Register",
+    "MatchActionTable",
+    "Stage",
+    "P4Pipeline",
+    "UFabPipelineProgram",
+    "build_ufab_pipeline",
+    "PipelineCoreAgent",
+]
+
+# ----------------------------------------------------------------------
+# Device model (Tofino-1-class numbers; Table 4's denominators)
+# ----------------------------------------------------------------------
+TOFINO_STAGES = 12  # match-action stages per pipeline
+SALUS_PER_STAGE = 4  # stateful ALUs per stage
+VLIW_SLOTS_PER_STAGE = 32  # VLIW action-instruction slots per stage
+XBAR_BYTES_PER_STAGE = 128  # match-crossbar input bytes per stage
+TCAM_BLOCKS_PER_STAGE = 24  # TCAM blocks per stage
+SRAM_KBITS_PER_STAGE = 80 * 128  # 80 SRAM blocks x 128 Kbit per stage
+HASH_BITS_PER_STAGE = 416  # hash-distribution output bits per stage
+PHV_BITS_TOTAL = 4096  # packet header vector capacity
+
+VLIW_SLOTS_TOTAL = TOFINO_STAGES * VLIW_SLOTS_PER_STAGE
+XBAR_BYTES_TOTAL = TOFINO_STAGES * XBAR_BYTES_PER_STAGE
+TCAM_BLOCKS_TOTAL = TOFINO_STAGES * TCAM_BLOCKS_PER_STAGE
+SRAM_KBITS_TOTAL = TOFINO_STAGES * SRAM_KBITS_PER_STAGE
+HASH_BITS_TOTAL = TOFINO_STAGES * HASH_BITS_PER_STAGE
+SALUS_TOTAL = TOFINO_STAGES * SALUS_PER_STAGE
+
+#: Figure-22 record field widths: W 16, Phi_l 16, tx_l 16, q_l 12, C_l 4.
+RECORD_BITS = 64
+#: Fixed Figure-22 header fields: type 4, nHop 4, phi_{a->b} 24.
+HEADER_BITS = 32
+#: PR 8 hop-presence bitmap (sampled/delta wire variants).
+BITMAP_BITS = 16
+#: nHop is a 4-bit field: at most 15 record slots can be parsed.
+MAX_RECORD_SLOTS = 15
+
+
+class PipelineError(Exception):
+    """Base class for pipeline-model constraint violations."""
+
+
+class StageBudgetError(PipelineError):
+    """The program needs more match-action stages than the device has."""
+
+
+class RegisterAccessError(PipelineError):
+    """A packet violated the one-RMW-per-register / stage-order rule."""
+
+
+class SaluBudgetError(PipelineError):
+    """A stage's stateful-ALU capacity was exceeded at build time."""
+
+
+class PhvCapacityError(PipelineError):
+    """The packet header vector cannot hold the requested fields."""
+
+
+# ----------------------------------------------------------------------
+# Pipeline elements
+# ----------------------------------------------------------------------
+class Register(object):
+    """A stateful register array bound to one stage's SALU(s).
+
+    ``value`` is the emulated contents (full precision — see the module
+    docstring); ``width_bits``/``entries`` describe the hardware array
+    for resource accounting.  Data-plane accesses pass the packet
+    context and are constraint-checked; ``ctx=None`` is the
+    control-plane port (CPU register reads/writes are unconstrained).
+    """
+
+    __slots__ = ("name", "width_bits", "entries", "salu_slots", "key_bytes",
+                 "hash_bits", "stage", "value")
+
+    def __init__(self, name: str, width_bits: int = 32, entries: int = 1,
+                 salu_slots: int = 1, key_bytes: int = 0,
+                 hash_bits: int = 0) -> None:
+        self.name = name
+        self.width_bits = width_bits
+        self.entries = entries
+        self.salu_slots = salu_slots
+        self.key_bytes = key_bytes
+        self.hash_bits = hash_bits
+        self.stage: Optional["Stage"] = None
+        self.value = None
+
+    # -- data-plane ops (one per packet) -------------------------------
+    def _account(self, ctx: Optional["_PacketCtx"]) -> None:
+        if ctx is not None:
+            ctx.access_register(self)
+
+    def read(self, ctx: Optional["_PacketCtx"]):
+        self._account(ctx)
+        return self.value
+
+    def write(self, ctx: Optional["_PacketCtx"], value) -> None:
+        self._account(ctx)
+        self.value = value
+
+    #: ``latch`` is ``write`` under its hardware name: the stage latches
+    #: an externally-maintained quantity (byte counter, queue depth).
+    latch = write
+
+    def rmw(self, ctx: Optional["_PacketCtx"], fn: Callable):
+        """One read-modify-write: ``value = fn(value)``, returns it."""
+        self._account(ctx)
+        self.value = fn(self.value)
+        return self.value
+
+    def probe(self, ctx: Optional["_PacketCtx"]) -> None:
+        """Account a register access whose storage is emulated elsewhere
+        (the shared Bloom array — see the module docstring)."""
+        self._account(ctx)
+
+
+class MatchActionTable(object):
+    """A match-action table resident in one stage.
+
+    ``modeled_only`` marks simulation bookkeeping that has no hardware
+    footprint — e.g. the per-pair contribution table the behavioral
+    agent documents as "models the per-pair contributions those
+    registers summarize".  It participates in packet processing (and the
+    one-apply-per-packet rule) but is excluded from resource usage.
+    """
+
+    __slots__ = ("name", "kind", "key_bytes", "entry_bits", "max_entries",
+                 "vliw_slots", "tcam_blocks", "hash_bits", "modeled_only",
+                 "stage", "entries")
+
+    def __init__(self, name: str, key_bytes: int, entry_bits: int = 0,
+                 max_entries: int = 0, kind: str = "exact",
+                 vliw_slots: int = 1, tcam_blocks: int = 0,
+                 hash_bits: int = 0, modeled_only: bool = False) -> None:
+        self.name = name
+        self.kind = kind
+        self.key_bytes = key_bytes
+        self.entry_bits = entry_bits
+        self.max_entries = max_entries
+        self.vliw_slots = vliw_slots
+        self.tcam_blocks = tcam_blocks
+        self.hash_bits = hash_bits
+        self.modeled_only = modeled_only
+        self.stage: Optional["Stage"] = None
+        self.entries: Dict = {}
+
+    def apply(self, ctx: Optional["_PacketCtx"], key):
+        """Look ``key`` up; one apply per packet, in stage order."""
+        if ctx is not None:
+            ctx.apply_table(self)
+        return self.entries.get(key)
+
+
+class Stage(object):
+    """One match-action stage: SALU, VLIW, and table capacity checks."""
+
+    __slots__ = ("index", "name", "registers", "tables", "vliw_used",
+                 "actions")
+
+    def __init__(self, index: int, name: str) -> None:
+        self.index = index
+        self.name = name
+        self.registers: List[Register] = []
+        self.tables: List[MatchActionTable] = []
+        self.vliw_used = 0
+        self.actions: List[Tuple[str, int]] = []
+
+    def register(self, reg: Register) -> Register:
+        used = sum(r.salu_slots for r in self.registers)
+        if used + reg.salu_slots > SALUS_PER_STAGE:
+            raise SaluBudgetError(
+                f"stage {self.index} ({self.name!r}): register {reg.name!r} "
+                f"needs {reg.salu_slots} SALU slot(s), "
+                f"{SALUS_PER_STAGE - used} free")
+        reg.stage = self
+        self.registers.append(reg)
+        return reg
+
+    def table(self, tbl: MatchActionTable) -> MatchActionTable:
+        blocks = sum(t.tcam_blocks for t in self.tables)
+        if blocks + tbl.tcam_blocks > TCAM_BLOCKS_PER_STAGE:
+            raise SaluBudgetError(
+                f"stage {self.index} ({self.name!r}): table {tbl.name!r} "
+                f"exceeds the per-stage TCAM capacity")
+        tbl.stage = self
+        self.tables.append(tbl)
+        return tbl
+
+    def action(self, name: str, vliw_slots: int = 1) -> None:
+        """Declare a VLIW action bundle (PHV edits with no register)."""
+        if self.vliw_used + vliw_slots > VLIW_SLOTS_PER_STAGE:
+            raise SaluBudgetError(
+                f"stage {self.index} ({self.name!r}): action {name!r} "
+                f"exceeds the per-stage VLIW slots")
+        self.vliw_used += vliw_slots
+        self.actions.append((name, vliw_slots))
+
+
+class _PacketCtx(object):
+    """Per-packet access tracker: stage-monotonic, one touch per element.
+
+    Contexts are independent objects (not pipeline-global state) because
+    a stamp can re-enter the agent: syncing the link fires deferred
+    fast-path emissions, whose probes open their own packet contexts.
+    """
+
+    __slots__ = ("_cursor", "_registers", "_tables")
+
+    def __init__(self) -> None:
+        self._cursor = -1
+        self._registers: set = set()
+        self._tables: set = set()
+
+    def _advance(self, element_name: str, stage: Optional[Stage]) -> None:
+        if stage is None:
+            raise RegisterAccessError(
+                f"{element_name!r} is not placed in any stage")
+        if stage.index < self._cursor:
+            raise RegisterAccessError(
+                f"{element_name!r} (stage {stage.index}) accessed after "
+                f"stage {self._cursor}: packets flow forward only")
+        self._cursor = stage.index
+
+    def access_register(self, reg: Register) -> None:
+        self._advance(reg.name, reg.stage)
+        if reg.name in self._registers:
+            raise RegisterAccessError(
+                f"register {reg.name!r} accessed twice by one packet "
+                f"(one read-modify-write per register per packet)")
+        self._registers.add(reg.name)
+
+    def apply_table(self, tbl: MatchActionTable) -> None:
+        self._advance(tbl.name, tbl.stage)
+        if tbl.name in self._tables:
+            raise RegisterAccessError(
+                f"table {tbl.name!r} applied twice by one packet")
+        self._tables.add(tbl.name)
+
+    def accessed(self, reg: Register) -> bool:
+        """True if this packet already touched ``reg`` (its result is
+        available as forwarded PHV metadata)."""
+        return reg.name in self._registers
+
+
+class P4Pipeline(object):
+    """A fixed-stage pipeline: stages, PHV allocation, usage accounting."""
+
+    def __init__(self, name: str = "ufab-c",
+                 n_stages: int = TOFINO_STAGES) -> None:
+        self.name = name
+        self.n_stages = n_stages
+        self.stages: List[Stage] = []
+        self.phv_fields: Dict[str, int] = {}
+
+    def stage(self, name: str) -> Stage:
+        if len(self.stages) >= self.n_stages:
+            raise StageBudgetError(
+                f"pipeline {self.name!r}: stage {name!r} would be stage "
+                f"{len(self.stages)}, device has {self.n_stages}")
+        st = Stage(len(self.stages), name)
+        self.stages.append(st)
+        return st
+
+    def phv(self, name: str, bits: int) -> None:
+        if self.phv_bits + bits > PHV_BITS_TOTAL:
+            raise PhvCapacityError(
+                f"pipeline {self.name!r}: PHV field {name!r} ({bits} bits) "
+                f"exceeds the {PHV_BITS_TOTAL}-bit PHV")
+        self.phv_fields[name] = self.phv_fields.get(name, 0) + bits
+
+    @property
+    def phv_bits(self) -> int:
+        return sum(self.phv_fields.values())
+
+    @contextmanager
+    def packet(self):
+        yield _PacketCtx()
+
+    # -- resource accounting (feeds repro.resources) -------------------
+    def usage(self) -> Dict[str, float]:
+        """Actual stage/register/PHV usage of the built program.
+
+        ``modeled_only`` tables are excluded; register SRAM counts the
+        declared array geometry (width x entries), TCAM tables count
+        blocks instead of SRAM.
+        """
+        salus = vliw = xbar_bytes = tcam_blocks = hash_bits = 0
+        sram_kbits = 0.0
+        for st in self.stages:
+            vliw += st.vliw_used
+            for reg in st.registers:
+                salus += reg.salu_slots
+                xbar_bytes += reg.key_bytes
+                hash_bits += reg.hash_bits
+                sram_kbits += reg.width_bits * reg.entries / 1024.0
+            for tbl in st.tables:
+                if tbl.modeled_only:
+                    continue
+                vliw += tbl.vliw_slots
+                xbar_bytes += tbl.key_bytes
+                hash_bits += tbl.hash_bits
+                tcam_blocks += tbl.tcam_blocks
+                if tbl.kind != "tcam":
+                    sram_kbits += tbl.entry_bits * tbl.max_entries / 1024.0
+        return {
+            "stages": len(self.stages),
+            "salus": salus,
+            "vliw": vliw,
+            "xbar_bytes": xbar_bytes,
+            "tcam_blocks": tcam_blocks,
+            "sram_kbits": sram_kbits,
+            "hash_bits": hash_bits,
+            "phv_bits": self.phv_bits,
+        }
+
+
+# ----------------------------------------------------------------------
+# The uFAB-C program (sections 3.6/4.2 + Appendix G laid onto stages)
+# ----------------------------------------------------------------------
+class UFabPipelineProgram(object):
+    """Handles to the built uFAB-C pipeline's elements."""
+
+    __slots__ = ("pipe", "t_kind", "t_pair", "r_blooms", "r_phi", "r_w",
+                 "r_portbytes", "r_txmeter", "r_queue", "r_delta",
+                 "record_slots")
+
+    def __init__(self, pipe, t_kind, t_pair, r_blooms, r_phi, r_w,
+                 r_portbytes, r_txmeter, r_queue, r_delta,
+                 record_slots) -> None:
+        self.pipe = pipe
+        self.t_kind = t_kind
+        self.t_pair = t_pair
+        self.r_blooms = r_blooms
+        self.r_phi = r_phi
+        self.r_w = r_w
+        self.r_portbytes = r_portbytes
+        self.r_txmeter = r_txmeter
+        self.r_queue = r_queue
+        self.r_delta = r_delta
+        self.record_slots = record_slots
+
+
+def build_ufab_pipeline(
+    plan: Optional[TelemetryPlan] = None,
+    *,
+    record_slots: int = MAX_RECORD_SLOTS,
+    bloom_counters: int = 20 * 1024 * 8,
+    n_hashes: int = 2,
+    pair_entries: int = 20_000,
+    ports: int = 1,
+) -> UFabPipelineProgram:
+    """Lay the uFAB-C program onto stages; raises on budget violations.
+
+    ``ports`` sizes the per-port register arrays (a runtime agent owns
+    one port, so 1; the resource derivation passes the reference
+    deployment's port count).  ``record_slots`` sizes the parsed
+    Figure-22 record area of the PHV (at most :data:`MAX_RECORD_SLOTS`,
+    the 4-bit nHop bound).
+    """
+    if isinstance(plan, str) or plan is None:
+        plan = get_plan(plan)
+    if record_slots > MAX_RECORD_SLOTS:
+        raise PhvCapacityError(
+            f"nHop is a 4-bit field: at most {MAX_RECORD_SLOTS} record "
+            f"slots, requested {record_slots}")
+    pipe = P4Pipeline(f"ufab-c/{plan.spec}")
+
+    # PHV: Figure-22 fields plus forwarding metadata (RMW results
+    # bridged to the stamp stage — see the module docstring).
+    pipe.phv("fig22.kind", 4)
+    pipe.phv("fig22.nhop", 4)
+    pipe.phv("fig22.phi", 24)
+    if plan.base_bytes == 6:
+        pipe.phv("fig22.bitmap", BITMAP_BITS)
+    pipe.phv("fig22.records", RECORD_BITS * record_slots)
+    pipe.phv("md.phi_fwd", 32)
+    pipe.phv("md.w_fwd", 32)
+    pipe.phv("md.tx_fwd", 32)
+    pipe.phv("md.flags", 8)
+
+    # Stage 0: parse/classify the probe kind (Figure 22 ``type``).
+    st = pipe.stage("parse-classify")
+    t_kind = st.table(MatchActionTable(
+        "t_kind", key_bytes=1, kind="tcam", tcam_blocks=1,
+        entry_bits=8, max_entries=16, vliw_slots=1))
+    t_kind.entries = {int(k): k.name.lower() for k in ProbeKind}
+
+    # Stage 1: the per-pair contribution table.  Simulation bookkeeping
+    # only (the behavioral agent's ``_table``): the switch itself holds
+    # just the Bloom filter and the summary registers, so this carries
+    # no hardware footprint (``modeled_only``).
+    st = pipe.stage("pair-table")
+    t_pair = st.table(MatchActionTable(
+        "t_pair", key_bytes=12, entry_bits=96, max_entries=pair_entries,
+        modeled_only=True))
+
+    # One stage per Bloom bank — the partitioned-Bloom idiom (k banks
+    # of m/k counters, one hash + one SALU each), so total SRAM is the
+    # m four-bit counters of the sized filter regardless of k.
+    bank_entries = max(2, -(-bloom_counters // n_hashes))
+    index_bits = max(1, math.ceil(math.log2(bank_entries)))
+    r_blooms: List[Register] = []
+    for i in range(n_hashes):
+        st = pipe.stage(f"bloom-bank{i}")
+        r_blooms.append(st.register(Register(
+            f"r_bloom{i}", width_bits=4, entries=bank_entries,
+            key_bytes=12, hash_bits=index_bits)))
+
+    # Demand-summary registers Phi_l and W_l (one SALU each).
+    r_phi = pipe.stage("phi-register").register(
+        Register("r_phi", width_bits=32, entries=ports))
+    r_w = pipe.stage("window-register").register(
+        Register("r_w", width_bits=32, entries=ports))
+
+    # TX meter: port byte counter + EWMA state (paired SALUs each).
+    st = pipe.stage("tx-meter")
+    r_portbytes = st.register(Register(
+        "r_portbytes", width_bits=64, entries=ports, salu_slots=2))
+    r_txmeter = st.register(Register(
+        "r_txmeter", width_bits=64, entries=ports, salu_slots=2))
+
+    # Queue-depth latch (traffic-manager depth bridged into the MAU).
+    r_queue = pipe.stage("queue-latch").register(
+        Register("r_queue", width_bits=32, entries=ports))
+
+    # Telemetry-plan stage (PR 8): delta keeps a last-stamped view,
+    # sketch folds in VLIW only, sampled/full need no core stage.
+    r_delta: Optional[Register] = None
+    if plan.kind == "delta":
+        st = pipe.stage("plan-delta")
+        r_delta = st.register(Register(
+            "r_delta", width_bits=128, entries=ports, salu_slots=2))
+        st.action("delta-suppress", 2)
+    elif plan.kind == "sketch":
+        st = pipe.stage("plan-sketch")
+        st.action("sketch-fold", 4)
+
+    # Final stage: stamp the Figure-22 record fields into the PHV.
+    pipe.stage("stamp").action("stamp-record", 6)
+
+    return UFabPipelineProgram(
+        pipe, t_kind, t_pair, r_blooms, r_phi, r_w,
+        r_portbytes, r_txmeter, r_queue, r_delta, record_slots)
+
+
+# ----------------------------------------------------------------------
+# The pipeline-backed controller
+# ----------------------------------------------------------------------
+class PipelineCoreAgent(SwitchController):
+    """Per-egress-port switch agent — the ``pipeline`` backend.
+
+    Bit-identical to :class:`repro.core.corenode.CoreAgent` on probe
+    payloads, traces, and HopRecords (the conformance suite enforces
+    it); every float operation below mirrors the behavioral code's
+    order exactly, with the pipeline model supplying the hardware
+    constraint checks around it.
+    """
+
+    def __init__(self, link: Link, params: Optional[UFabParams] = None,
+                 bloom_seed: int = 0) -> None:
+        self.link = link
+        self.params = params or UFabParams()
+        n_counters = max(64, self.params.bloom_bits)
+        self.bloom = CountingBloomFilter(
+            n_counters=n_counters, n_hashes=self.params.bloom_hashes,
+            seed=bloom_seed)
+        self.false_positives = 0
+        self.plan = get_plan(self.params.telemetry_plan)
+        self._plan_mutates = self.plan.mutates_stamp
+        self.records_stamped = 0
+        self.deltas_suppressed = 0
+        self.sketch_folds = 0
+        prog = build_ufab_pipeline(
+            self.plan, bloom_counters=n_counters,
+            n_hashes=self.params.bloom_hashes)
+        self.prog = prog
+        self.pipe = prog.pipe
+        self._t_kind = prog.t_kind
+        self._t_pair = prog.t_pair
+        self._r_blooms = prog.r_blooms
+        self._r_phi = prog.r_phi
+        self._r_w = prog.r_w
+        self._r_portbytes = prog.r_portbytes
+        self._r_txmeter = prog.r_txmeter
+        self._r_queue = prog.r_queue
+        self._r_delta = prog.r_delta
+        self._r_phi.value = 0.0
+        self._r_w.value = 0.0
+        self._r_portbytes.value = 0.0
+        # (last sample time, last byte-counter reading, EWMA value).
+        self._r_txmeter.value = (0.0, 0.0, 0.0)
+        self._r_queue.value = 0.0
+        if self._r_delta is not None:
+            self._r_delta.value = None
+        # StaleTelemetry fault state (control-plane-installed snapshot;
+        # same semantics as the behavioral agent).
+        self._frozen: Optional[Tuple[float, float, float, float]] = None
+        self._frozen_at = 0.0
+        self._stale_age: Optional[float] = None
+
+    # -- register views (what the fabric/telemetry accounting reads) ---
+    @property
+    def phi_total(self) -> float:
+        return self._r_phi.value
+
+    @phi_total.setter
+    def phi_total(self, value: float) -> None:
+        self._r_phi.value = value
+
+    @property
+    def window_total(self) -> float:
+        return self._r_w.value
+
+    @window_total.setter
+    def window_total(self, value: float) -> None:
+        self._r_w.value = value
+
+    def _reg_value(self, ctx: Optional[_PacketCtx], reg: Register):
+        """Read ``reg`` — via forwarded PHV metadata if this packet
+        already RMW'd it (a second register access would be illegal)."""
+        if ctx is not None and ctx.accessed(reg):
+            return reg.value
+        return reg.read(ctx)
+
+    # ------------------------------------------------------------------
+    # Probe path (data plane: one packet context per probe)
+    # ------------------------------------------------------------------
+    def on_probe(self, header: ProbeHeader, now: float) -> None:
+        """Handle a forward probe: register demand, stamp INT."""
+        with self.pipe.packet() as ctx:
+            self._t_kind.apply(ctx, int(header.kind))
+            if header.kind == ProbeKind.PROBE:
+                self._register(ctx, header.pair_id, header.phi,
+                               header.window, now)
+            elif header.kind == ProbeKind.FINISH:
+                self._finish(ctx, header.pair_id)
+            self._stamp(ctx, header, now)
+
+    def stamp(self, header: ProbeHeader, now: float) -> None:
+        """Insert this hop's INT record (Figure 9, step 2-3)."""
+        with self.pipe.packet() as ctx:
+            self._stamp(ctx, header, now)
+
+    def _register(self, ctx: Optional[_PacketCtx], pair_id: str,
+                  phi: float, window: float, now: float) -> None:
+        entry = self._t_pair.apply(ctx, pair_id)
+        if entry is not None:
+            old_phi, old_window, _ = entry
+            self._r_phi.rmw(ctx, lambda v: v + (phi - old_phi))
+            self._r_w.rmw(ctx, lambda v: v + (window - old_window))
+            self._t_pair.entries[pair_id] = (phi, window, now)
+            return
+        # Both banks are touched once whether or not the pair is new;
+        # the membership test + predicated insert resolve against the
+        # shared counter array (module-docstring concession).
+        for bank in self._r_blooms:
+            bank.probe(ctx)
+        if self.bloom.contains(pair_id):
+            # False positive: the pair looks already-seen, so its
+            # contribution is omitted (Phi_l, W_l under-estimate).
+            self.false_positives += 1
+            if OBS.enabled:
+                _M_BLOOM_FP.inc()
+            return
+        self.bloom.add(pair_id)
+        self._t_pair.entries[pair_id] = (phi, window, now)
+        self._r_phi.rmw(ctx, lambda v: v + phi)
+        self._r_w.rmw(ctx, lambda v: v + window)
+        if OBS.enabled:
+            OBS.trace.record(now, _EV_REGISTER, {
+                "link": self.link.name, "pair": pair_id,
+                "phi": phi, "window": window,
+            })
+
+    def _finish(self, ctx: Optional[_PacketCtx], pair_id: str) -> bool:
+        entry = self._t_pair.apply(ctx, pair_id)
+        if entry is None:
+            return True  # idempotent: already gone
+        del self._t_pair.entries[pair_id]
+        phi, window, _ = entry
+        # Banks precede the summary registers in the stage program, so
+        # the Bloom decrement runs first; it commutes with the register
+        # updates (disjoint state), keeping values behavioral-identical.
+        for bank in self._r_blooms:
+            bank.probe(ctx)
+        self.bloom.remove(pair_id)
+        self._r_phi.rmw(ctx, lambda v: max(0.0, v - phi))
+        self._r_w.rmw(ctx, lambda v: max(0.0, v - window))
+        return True
+
+    def _sync_for_stamp(self, now: float) -> None:
+        """The link sync the behavioral ``measured_tx`` performs, hoisted
+        ahead of the register reads: firing deferred emissions can
+        update Phi_l/W_l, and the behavioral agent reads them *after*
+        its meter synced the link."""
+        link = self.link
+        pending = link._pending
+        if (pending and pending[0].t < now) or now > link._last_sync:
+            link.sync(now)
+
+    def _meter_update(self, ctx: Optional[_PacketCtx], now: float) -> float:
+        """The TX meter's stage work (link already synced): latch the
+        port byte counter, one RMW on the EWMA state."""
+        link = self.link
+        self._r_portbytes.latch(ctx, link.delivered_bits)
+        delivered = self._r_portbytes.value
+
+        def _meter(state):
+            t_last, d_last, value = state
+            dt = now - t_last
+            if dt >= 5e-6:  # refresh when enough bytes/time accumulated
+                sample = (delivered - d_last) / dt
+                alpha = dt / (dt + _behavioral.CoreAgent.TX_METER_TAU)
+                value += alpha * (sample - value)
+                return (now, delivered, value)
+            if t_last == 0.0 and d_last == 0.0:
+                return (t_last, d_last, link.tx_rate(now))
+            return state
+
+        return self._r_txmeter.rmw(ctx, _meter)[2]
+
+    def measured_tx(self, now: float) -> float:
+        """EWMA'd windowed TX rate from the port's byte counter."""
+        self._sync_for_stamp(now)
+        return self._meter_update(None, now)
+
+    def _stamp(self, ctx: Optional[_PacketCtx], header: ProbeHeader,
+               now: float) -> None:
+        if self._plan_mutates and header.kind == ProbeKind.PROBE:
+            self._stamp_planned(ctx, header, now)
+            return
+        link = self.link
+        if self._frozen is not None:
+            if self._stale_age is not None and now - self._frozen_at >= self._stale_age:
+                # Bounded staleness: refresh the snapshot every age_s.
+                self._frozen = self._snapshot(now)
+                self._frozen_at = now
+            window_total, phi_total, tx, queue = self._frozen
+            self._append_record(header, window_total, phi_total, tx, queue)
+            self.records_stamped += 1
+            if OBS.enabled:
+                _M_STALE_STAMPS.inc()
+                OBS.trace.record(now, _EV_QUEUE, {
+                    "link": link.name, "q_bits": queue, "tx_bps": tx,
+                    "phi_total": phi_total, "window_total": window_total,
+                })
+            return
+        self._sync_for_stamp(now)
+        phi_total = self._reg_value(ctx, self._r_phi)
+        window_total = self._reg_value(ctx, self._r_w)
+        tx = self._meter_update(ctx, now)
+        # The sync above brought the link to ``now``, so the raw queue
+        # register is current — same value queue_bits(now) would return.
+        queue = link.queue
+        self._r_queue.latch(ctx, queue)
+        self._append_record(header, window_total, phi_total, tx, queue)
+        self.records_stamped += 1
+        if OBS.enabled:
+            name = link.name
+            OBS.trace.record(now, _EV_QUEUE, {
+                "link": name, "q_bits": queue, "tx_bps": tx,
+                "phi_total": phi_total, "window_total": window_total,
+            })
+            _S_QUEUE.sample(now, queue, key=name)
+            _S_TX.sample(now, tx, key=name)
+            _G_PHI.set(phi_total, key=name)
+            _G_WINDOW.set(window_total, key=name)
+
+    def _stamp_planned(self, ctx: Optional[_PacketCtx], header: ProbeHeader,
+                       now: float) -> None:
+        """Data-probe stamp under a ``delta`` or ``sketch`` plan."""
+        link = self.link
+        if self._frozen is not None:
+            if self._stale_age is not None and now - self._frozen_at >= self._stale_age:
+                self._frozen = self._snapshot(now)
+                self._frozen_at = now
+            window_total, phi_total, tx, queue = self._frozen
+            if OBS.enabled:
+                _M_STALE_STAMPS.inc()
+        else:
+            self._sync_for_stamp(now)
+            phi_total = self._reg_value(ctx, self._r_phi)
+            window_total = self._reg_value(ctx, self._r_w)
+            tx = self._meter_update(ctx, now)
+            queue = link.queue
+            self._r_queue.latch(ctx, queue)
+        plan = self.plan
+        if plan.kind == "delta":
+            view = (window_total, phi_total, tx, queue)
+            moved = []
+
+            def _delta(last):
+                if last is not None and not plan.moved(view, last):
+                    return last  # predicate false: keep, suppress stamp
+                moved.append(True)
+                return view
+
+            self._r_delta.rmw(ctx, _delta)
+            if not moved:
+                self.deltas_suppressed += 1
+                if OBS.enabled:
+                    M_DELTAS_SUPPRESSED.inc()
+                return
+        else:  # sketch: one folded record per probe (VLIW-only stage)
+            hops = header.hops
+            if hops:
+                head = hops[0]
+                self.sketch_folds += 1
+                if OBS.enabled:
+                    M_SKETCH_FOLDS.inc()
+                # Keep the bottleneck hop: max token subscription
+                # Phi_l / C_l, with the path-max queue folded in.
+                if phi_total * head.capacity > head.phi_total * link.capacity:
+                    if head.queue > queue:
+                        queue = head.queue
+                    head.window_total = window_total
+                    head.phi_total = phi_total
+                    head.tx_rate = tx
+                    head.queue = queue
+                    head.capacity = link.capacity
+                    head.link_name = link.name
+                elif queue > head.queue:
+                    head.queue = queue
+                return
+        self._append_record(header, window_total, phi_total, tx, queue)
+        self.records_stamped += 1
+        if OBS.enabled:
+            name = link.name
+            OBS.trace.record(now, _EV_QUEUE, {
+                "link": name, "q_bits": queue, "tx_bps": tx,
+                "phi_total": phi_total, "window_total": window_total,
+            })
+            _S_QUEUE.sample(now, queue, key=name)
+            _S_TX.sample(now, tx, key=name)
+            _G_PHI.set(phi_total, key=name)
+            _G_WINDOW.set(window_total, key=name)
+
+    def _append_record(self, header: ProbeHeader, window_total: float,
+                       phi_total: float, tx: float, queue: float) -> None:
+        """Write one Figure-22 record into the PHV's record area."""
+        if len(header.hops) >= self.prog.record_slots:
+            raise PhvCapacityError(
+                f"probe already carries {len(header.hops)} records; the "
+                f"PHV parses {self.prog.record_slots} slots (4-bit nHop)")
+        link = self.link
+        header.hops.append(HopRecord(
+            window_total=window_total,
+            phi_total=phi_total,
+            tx_rate=tx,
+            queue=queue,
+            capacity=link.capacity,
+            link_name=link.name,
+        ))
+
+    # ------------------------------------------------------------------
+    # Fault plane (control plane: unconstrained register access)
+    # ------------------------------------------------------------------
+    def _snapshot(self, now: float) -> Tuple[float, float, float, float]:
+        return (
+            self.window_total,
+            self.phi_total,
+            self.measured_tx(now),
+            self.link.queue_bits(now),
+        )
+
+    def freeze_telemetry(self, now: float, age_s: Optional[float] = None) -> None:
+        """Serve stale INT: stamp a frozen snapshot instead of live state."""
+        self._frozen = self._snapshot(now)
+        self._frozen_at = now
+        self._stale_age = age_s
+
+    def unfreeze_telemetry(self, now: Optional[float] = None) -> None:
+        # Deferred fast-path stamps due during the freeze must be served
+        # from the frozen snapshot, not the thawing registers.
+        if now is not None:
+            self.link.flush_pending(now)
+        self._frozen = None
+        self._stale_age = None
+
+    @property
+    def telemetry_frozen(self) -> bool:
+        return self._frozen is not None
+
+    def reset(self, now: float = 0.0) -> None:
+        """Line-card reboot (CoreReset fault): wipe Bloom + Phi_l/W_l."""
+        self.link.flush_pending(now)
+        self._t_pair.entries.clear()
+        self._r_phi.value = 0.0
+        self._r_w.value = 0.0
+        self.bloom.clear()
+        if self._r_delta is not None:
+            # A rebooted line card has no last-stamped view either.
+            self._r_delta.value = None
+        # Restart the TX meter from the port's current byte counter.
+        self._r_portbytes.value = self.link.delivered_bits
+        self._r_txmeter.value = (now, self.link.delivered_bits, 0.0)
+
+    # ------------------------------------------------------------------
+    # Deactivation
+    # ------------------------------------------------------------------
+    def on_finish(self, pair_id: str) -> bool:
+        """Finish probe: drop the pair's contribution.  Returns ack."""
+        return self._finish(None, pair_id)
+
+    def sweep(self, now: float) -> int:
+        """Remove silently-inactive pairs (no probe within the timeout)."""
+        self.link.flush_pending(now)
+        timeout = self.params.silence_timeout_s
+        table = self._t_pair.entries
+        stale = [pid for pid, (_, _, seen) in table.items()
+                 if now - seen > timeout]
+        for pid in stale:
+            self.on_finish(pid)
+        if stale and OBS.enabled:
+            _M_SWEPT.inc(len(stale))
+            OBS.trace.record(now, _EV_SWEEP,
+                             {"link": self.link.name, "removed": len(stale)})
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    def active_pairs(self) -> int:
+        return len(self._t_pair.entries)
+
+    def target_capacity(self) -> float:
+        return self.params.target_capacity(self.link.capacity)

@@ -331,12 +331,13 @@ def run_grid(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     obs: Optional[Dict[str, object]] = None,
+    backend: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """The ablation grids through the parallel runner (rows of dicts)."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(fractions, etas, duration, seed), jobs=jobs,
-                  use_cache=use_cache, cache_dir=cache_dir, obs=obs)
+                  use_cache=use_cache, cache_dir=cache_dir, obs=obs, backend=backend)
 
 
 # ----------------------------------------------------------------------

@@ -119,13 +119,14 @@ def run_grid(
     cache_dir: Optional[str] = None,
     obs: Optional[Dict[str, object]] = None,
     faults: Optional[Dict[str, object]] = None,
+    backend: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """The Figure 4 sweep through the parallel runner (rows of dicts)."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(degrees, schemes, duration, seeds), jobs=jobs,
                   use_cache=use_cache, cache_dir=cache_dir, obs=obs,
-                  faults=faults)
+                  faults=faults, backend=backend)
 
 
 def run(

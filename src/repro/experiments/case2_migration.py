@@ -207,12 +207,13 @@ def run_grid(
     cache_dir: Optional[str] = None,
     obs: Optional[Dict[str, object]] = None,
     faults: Optional[Dict[str, object]] = None,
+    backend: Optional[str] = None,
 ) -> "List[Dict[str, object]]":
     """The three Figure 5 panels through the parallel runner."""
     from repro.experiments.common import run_grid as submit
 
     return submit(grid(duration), jobs=jobs, use_cache=use_cache,
-                  cache_dir=cache_dir, obs=obs, faults=faults)
+                  cache_dir=cache_dir, obs=obs, faults=faults, backend=backend)
 
 
 def run(duration: float = 0.2) -> List[MigrationResult]:

@@ -63,8 +63,10 @@ def build_scheme(
     params: Optional[UFabParams] = None,
     seed: int = 1,
     flowlet_gap_s: float = 200e-6,
+    backend: Optional[str] = None,
 ):
-    return make_fabric(scheme, network, params, seed, flowlet_gap_s)
+    return make_fabric(scheme, network, params, seed, flowlet_gap_s,
+                       backend=backend)
 
 
 def sample_period_for(base_rtt: float) -> float:
@@ -88,6 +90,7 @@ def run_grid(
     cache_dir: Optional[str] = None,
     obs: Optional[Mapping[str, Any]] = None,
     faults: Optional[Mapping[str, Any]] = None,
+    backend: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Submit a grid, return ordered payload rows; raise on failures.
 
@@ -103,8 +106,11 @@ def run_grid(
     trace/metrics under the payload key ``"_obs"``.  ``faults`` (a
     fault-schedule config, see :meth:`repro.faults.FaultSchedule.
     to_config`) likewise applies to every cell that does not already
-    carry its own schedule.  Both are part of each job's cache key, so
-    traced/faulted results never alias clean ones.
+    carry its own schedule.  ``backend`` (a core-controller backend
+    name, see :func:`repro.core.controller.backend_names`) applies to
+    every cell that does not already pin one.  All three are part of
+    each job's cache key, so traced/faulted/pipeline-backed results
+    never alias clean ones.
     """
     submitted = list(grid_jobs)
     if obs:
@@ -112,6 +118,11 @@ def run_grid(
     if faults:
         submitted = [
             job if job.faults else dataclasses.replace(job, faults=dict(faults))
+            for job in submitted
+        ]
+    if backend:
+        submitted = [
+            job if job.backend else dataclasses.replace(job, backend=backend)
             for job in submitted
         ]
     runner = ParallelRunner(

@@ -187,6 +187,7 @@ def run_grid(
     cache_dir: Optional[str] = None,
     obs: Optional[Dict[str, object]] = None,
     faults: Optional[Dict[str, object]] = None,
+    backend: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """The resilience sweep through the parallel runner (rows of dicts).
 
@@ -201,7 +202,7 @@ def run_grid(
     if faults:
         grid_jobs = [dataclasses.replace(j, faults={}) for j in grid_jobs]
     return submit(grid_jobs, jobs=jobs, use_cache=use_cache,
-                  cache_dir=cache_dir, obs=obs, faults=faults)
+                  cache_dir=cache_dir, obs=obs, faults=faults, backend=backend)
 
 
 def run(

@@ -242,13 +242,14 @@ def run_grid(
     cache_dir: Optional[str] = None,
     obs: Optional[Dict[str, object]] = None,
     faults: Optional[Dict[str, object]] = None,
+    backend: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """The scale sweep through the parallel runner (rows of dicts)."""
     from repro.experiments.common import run_grid as submit
 
     grid_jobs = grid(schemes, ks, churn_levels, duration, seeds)
     return submit(grid_jobs, jobs=jobs, use_cache=use_cache,
-                  cache_dir=cache_dir, obs=obs, faults=faults)
+                  cache_dir=cache_dir, obs=obs, faults=faults, backend=backend)
 
 
 def verify_solver_equivalence(

@@ -208,6 +208,7 @@ def run_bench(
     out: Optional[str] = None,
     profile: bool = False,
     transit: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run a grid and return (and optionally write) the bench report.
 
@@ -222,11 +223,20 @@ def run_bench(
     when A/B-ing transit modes: the cache key does not include the mode
     (by design — payloads are bit-identical), so a cached run would
     report the other mode's timings.
+
+    ``backend`` pins every cell's core-controller backend (it folds into
+    the cache key, unlike ``transit``, so benched backends never alias).
     """
     grid_jobs = build_grid(grid, schemes=schemes, seeds=seeds,
                            duration=duration, degrees=degrees)
     if profile:
         grid_jobs = [dataclasses.replace(j, obs={"profile": True})
+                     for j in grid_jobs]
+    if backend is not None:
+        from repro.core.controller import resolve_backend
+
+        resolve_backend(backend)  # validate before spawning anything
+        grid_jobs = [dataclasses.replace(j, backend=backend)
                      for j in grid_jobs]
     cache = ResultCache(cache_dir) if use_cache else None
     runner = ParallelRunner(jobs=jobs, timeout_s=timeout_s, cache=cache)

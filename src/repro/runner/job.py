@@ -95,6 +95,14 @@ class Job:
     install it with :func:`repro.faults.install_faults`.  Like ``obs``
     it is part of :meth:`config_hash`, so cells run under different
     fault schedules (or none) never alias in the result cache.
+
+    ``backend`` selects the core-switch controller implementation
+    (:func:`repro.core.controller.backend_names`; empty = the session
+    default, i.e. ``REPRO_BACKEND`` or ``behavioral``).  It is pinned
+    into the environment for the duration of :func:`execute_job` — the
+    fabric builders resolve it at attach time — and folded into
+    :meth:`config_hash` only when set, so cached results never mix
+    backends.
     """
 
     experiment: str
@@ -104,6 +112,7 @@ class Job:
     params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
     obs: Mapping[str, Any] = dataclasses.field(default_factory=dict)
     faults: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    backend: str = ""
 
     def call_kwargs(self) -> Dict[str, Any]:
         kwargs = dict(self.params)
@@ -126,6 +135,10 @@ class Job:
             # Only folded in when present, so every pre-faults cache key
             # (and the seed corpus built on them) stays valid.
             spec["faults"] = dict(self.faults)
+        if self.backend:
+            # Same only-when-set rule: default-backend keys predate the
+            # backend axis and stay valid.
+            spec["backend"] = self.backend
         return hashlib.sha256(canonical_json(spec).encode()).hexdigest()[:24]
 
     def describe(self) -> str:
@@ -188,16 +201,31 @@ def execute_job(job: Job) -> Dict[str, Any]:
     outputs are byte-identical to an uninstrumented run.
     """
     fn = resolve_entry(job.entry)
-    if job.obs:
-        from repro.obs import OBS
+    saved_backend = os.environ.get("REPRO_BACKEND")
+    if job.backend:
+        # Validate eagerly (a typo should fail the job, not silently
+        # run the default) and pin for the duration of the cell: the
+        # fabric builders resolve REPRO_BACKEND at agent-attach time.
+        from repro.core.controller import resolve_backend
 
-        with OBS.capture(dict(job.obs)) as cap:
+        os.environ["REPRO_BACKEND"] = resolve_backend(job.backend)
+    try:
+        if job.obs:
+            from repro.obs import OBS
+
+            with OBS.capture(dict(job.obs)) as cap:
+                payload = fn(**job.call_kwargs())
+            if isinstance(payload, Mapping):
+                payload = dict(payload)
+                payload["_obs"] = cap.export()
+        else:
             payload = fn(**job.call_kwargs())
-        if isinstance(payload, Mapping):
-            payload = dict(payload)
-            payload["_obs"] = cap.export()
-    else:
-        payload = fn(**job.call_kwargs())
+    finally:
+        if job.backend:
+            if saved_backend is None:
+                os.environ.pop("REPRO_BACKEND", None)
+            else:
+                os.environ["REPRO_BACKEND"] = saved_backend
     if not isinstance(payload, Mapping):
         raise TypeError(
             f"entry {job.entry!r} returned {type(payload).__name__}; "

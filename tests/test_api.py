@@ -1,7 +1,5 @@
 """Tests for the unified public Scenario API (repro.api)."""
 
-import warnings
-
 import pytest
 
 from repro import Scenario, ScenarioResult, UFabParams
@@ -184,29 +182,45 @@ def test_build_installs_faults_against_horizon():
 
 
 # ----------------------------------------------------------------------
-# Deprecation shims
+# Deprecation graduation: the pre-Scenario shims are gone
 # ----------------------------------------------------------------------
 
-def test_deprecated_shims_warn_and_still_work():
+def test_pre_scenario_shims_removed():
     from repro import api
 
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        net = api.testbed_network()
-        fabric = api.build_scheme("ufab", net)
-    assert len(caught) == 2
-    assert all(issubclass(w.category, DeprecationWarning) for w in caught)
-    fabric.add_pair(VMPair("p0", vf="p0", src_host="S1", dst_host="S5",
-                           phi=1000.0))
+    for old in ("testbed_network", "build_scheme", "install_ufab"):
+        assert not hasattr(api, old)
+        assert old not in api.__all__
+    # The real entry points stay importable from their original homes.
+    from repro.baselines.fabrics import make_fabric  # noqa: F401
+    from repro.core.edge import install_ufab  # noqa: F401
+    from repro.experiments.common import testbed_network  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+def test_backend_builder_validates_eagerly():
+    with pytest.raises(ValueError, match="behavioral"):
+        Scenario.testbed().backend("no-such-backend")
+
+
+def test_backend_threads_through_build():
+    from repro.core.p4pipe import PipelineCoreAgent
+
+    net, _ = _scenario().backend("pipeline").build(horizon=0.01)
+    agents = [link.core_agent for link in net.topology.links.values()
+              if getattr(link, "core_agent", None) is not None]
+    assert agents and all(isinstance(a, PipelineCoreAgent) for a in agents)
     net.run(0.003)
-    assert net.delivered_rate("p0") > 0
+    assert net.delivered_rate("t0:S1->S5") > 0
 
 
-def test_deprecated_install_ufab_shim():
-    from repro import api
-    from repro.experiments.common import testbed_network as make_testbed
+def test_backend_none_defers_to_default():
+    from repro.core.corenode import CoreAgent
 
-    net = make_testbed()
-    with pytest.deprecated_call():
-        fabric = api.install_ufab(net, seed=1)
-    assert fabric is not None
+    net, _ = _scenario().backend(None).build(horizon=0.01)
+    agents = [link.core_agent for link in net.topology.links.values()
+              if getattr(link, "core_agent", None) is not None]
+    assert agents and all(type(a) is CoreAgent for a in agents)

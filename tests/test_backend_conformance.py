@@ -1,0 +1,140 @@
+"""Backend conformance: behavioral and pipeline must be bit-identical.
+
+The ``pipeline`` backend (:mod:`repro.core.p4pipe`) re-implements the
+core agent as an explicit Tofino-like match-action pipeline — stages,
+one register-ALU RMW per register per packet, a stage budget, the
+Figure-22 layout stamped field-by-field.  It is only admissible as a
+backend if it is *bit-identical* to the behavioral reference on
+everything an experiment can observe: probe payloads, hop records,
+figure rows, and trace streams — across schemes, seeds, fault
+schedules, telemetry plans, and both probe-transit modes.
+
+Payload comparison is exact ``==`` after stripping ``events_processed``
+and ``_obs`` (the trace streams are compared separately, in full).
+``Job.backend`` carries the selection: ``execute_job`` pins it into
+``REPRO_BACKEND`` around the cell, exactly as the process pool does.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.faults.spec import parse_faults
+from repro.runner.job import Job, execute_job
+
+FIG11 = "repro.experiments.fig11_guarantee:cell"
+RESIL = "repro.experiments.fig_resilience:cell"
+TELEM = "repro.experiments.fig_telemetry:cell"
+
+# Every injector mechanism at once: loss/delay windows, link flaps,
+# frozen telemetry, and mid-run restarts/resets (the CoreReset path
+# exercises PipelineCoreAgent.reset through the fault plane).
+MIXED = ("probe_loss:0.02@1ms-4ms;probe_delay:20us+10us@2ms-6ms;"
+         "link_flaps:mtbf=3ms,mttr=1ms/Agg;stale:1ms@3ms-5ms;"
+         "core_reset:Core1@4ms;edge_restart:S1@5ms")
+
+TELEM_PLANS = ("full", "sampled:k=4", "sampled:p=0.5,seed=11",
+               "delta:rel=0.1", "sketch")
+
+
+def _run(job, backend, transit="fast"):
+    """Execute one cell in-process under (backend, transit mode)."""
+    old = os.environ.get("REPRO_PROBE_TRANSIT")
+    os.environ["REPRO_PROBE_TRANSIT"] = transit
+    try:
+        return execute_job(dataclasses.replace(job, backend=backend))
+    finally:
+        if old is None:
+            del os.environ["REPRO_PROBE_TRANSIT"]
+        else:
+            os.environ["REPRO_PROBE_TRANSIT"] = old
+
+
+def _strip(payload):
+    return {k: v for k, v in payload.items()
+            if k not in ("events_processed", "_obs")}
+
+
+def _assert_conformant(job, transit="fast"):
+    behavioral = _run(job, "behavioral", transit)
+    pipeline = _run(job, "pipeline", transit)
+    assert _strip(behavioral) == _strip(pipeline)
+
+
+# ----------------------------------------------------------------------
+# Figure cells under both backends
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("transit", ("fast", "slow"))
+@pytest.mark.parametrize("seed", (1, 2, 3))
+def test_fig11_rows_identical_across_backends(seed, transit):
+    _assert_conformant(Job(
+        "fig11", FIG11, scheme="ufab", seed=seed,
+        params={"scheme": "ufab", "duration": 0.006, "seed": seed}),
+        transit)
+
+
+@pytest.mark.parametrize("transit", ("fast", "slow"))
+@pytest.mark.parametrize("seed", (1, 2))
+def test_faulted_resilience_identical_across_backends(seed, transit):
+    dur = 0.008
+    faults = parse_faults(MIXED, horizon=dur, seed=seed).to_config()
+    _assert_conformant(Job(
+        "fig_resilience", RESIL, scheme="ufab", seed=seed,
+        params={"scheme": "ufab", "axis": "mixed", "level": 1.0,
+                "duration": dur, "seed": seed},
+        faults=faults), transit)
+
+
+@pytest.mark.parametrize("plan", TELEM_PLANS)
+def test_telemetry_plans_identical_across_backends(plan):
+    _assert_conformant(Job(
+        "fig_telemetry", TELEM, scheme="ufab", seed=3,
+        params={"plan": plan, "duration": 0.006,
+                "join_interval": 0.0004, "seed": 3}))
+
+
+def test_trace_streams_identical_across_backends():
+    # Not just the figure rows: the full observability trace — every
+    # register event, series sample, and gauge — must match record for
+    # record (both backends emit through the same OBS metric objects).
+    job = Job("fig11", FIG11, scheme="ufab", seed=3,
+              params={"scheme": "ufab", "duration": 0.004, "seed": 3},
+              obs={"trace": True, "trace_capacity": 200_000})
+    behavioral = _run(job, "behavioral")
+    pipeline = _run(job, "pipeline")
+    assert _strip(behavioral) == _strip(pipeline)
+    assert behavioral["_obs"]["trace"] == pipeline["_obs"]["trace"]
+
+
+# ----------------------------------------------------------------------
+# Cache-key and selection plumbing
+# ----------------------------------------------------------------------
+
+def test_backend_is_part_of_the_cache_key():
+    base = Job("fig11", FIG11, scheme="ufab", seed=1,
+               params={"scheme": "ufab", "duration": 0.004, "seed": 1})
+    pipe = dataclasses.replace(base, backend="pipeline")
+    explicit = dataclasses.replace(base, backend="behavioral")
+    assert base.config_hash() != pipe.config_hash()
+    # Pre-backend jobs keep their historical hash (backend folds in
+    # only when set), so an explicit behavioral pin is a distinct key.
+    assert base.config_hash() != explicit.config_hash()
+
+
+def test_unknown_backend_fails_eagerly():
+    job = Job("fig11", FIG11, scheme="ufab", seed=1,
+              params={"scheme": "ufab", "duration": 0.004, "seed": 1},
+              backend="no-such-backend")
+    with pytest.raises(ValueError, match="behavioral"):
+        execute_job(job)
+
+
+def test_execute_job_restores_environment():
+    job = Job("fig11", FIG11, scheme="ufab", seed=1,
+              params={"scheme": "ufab", "duration": 0.003, "seed": 1},
+              backend="pipeline")
+    assert os.environ.get("REPRO_BACKEND") is None
+    execute_job(job)
+    assert os.environ.get("REPRO_BACKEND") is None
