@@ -1,0 +1,845 @@
+"""uFAB-C vector backend: arena-backed switch state, fused probe path.
+
+:class:`VectorCoreAgent` (backend name ``vector``) implements the same
+section-3.6/4.2 algorithm as the behavioral :class:`CoreAgent`, but all
+per-link core register state — the Phi_l/W_l demand summaries, the TX
+meter (utilization EWMA), and the stamping/suppression counters — lives
+in dense structure-of-arrays columns indexed by interned link ids,
+shared across every core agent of one network via a per-fabric
+:class:`VectorCoreState` arena.  Per-pair admission state (phi, window,
+last-seen) likewise lives in shared pair-row columns; an agent's table
+is just ``pair_id -> row`` over the arena pool.
+
+Storage note: the canonical columns are plain Python lists, not
+``array``/numpy buffers.  The probe hot path is *scalar* — one slot per
+hop — and on this interpreter a list element read-modify-write measures
+~59ns against ~136ns for ``array('d')`` and ~179ns for a numpy scalar
+(both box a fresh float object on every read and type-dispatch every
+``__setitem__``).  Batch passes that want numpy semantics — the
+inactivity sweep's staleness scan — materialize a dense float64 view
+with :meth:`VectorCoreState.np_view` (one C-speed copy) and
+fancy-index it; with sweeps orders of magnitude rarer than stamps,
+copy-on-batch beats slow-on-every-stamp.
+
+The speedup comes from *fusing* the probe hot path.  Every uFAB stamp
+is applied from the flat-transit pending-emission ledger of PR 5
+(``_TransitEntry.fire`` — both transit modes route stamps through it),
+which integrates the link to the emission instant immediately before
+the hop callback.  The arena exploits that invariant:
+
+* :meth:`VectorCoreState.fused_hop` performs the ledger fire's queue
+  integration (inlining the calm-link case, where ``_integrate``
+  reduces to ``delivered_bits += inflow*dt``), the pair registration,
+  and the INT stamp in one call — no ``on_hop`` trampoline, no
+  ``on_probe``/``_register``/``stamp``/``measured_tx`` call chain, and
+  no redundant ``link.sync`` (the fire itself just synced the link, so
+  the behavioral guard is provably false).
+* :meth:`VectorCoreState.drain_flight` drains a whole flight's pending
+  entries — elided (no-stamp) hops included — in one pass at arrival,
+  replacing the per-entry ``_flush_upto``/``fire``/``ensure_prior``
+  loops.
+* :meth:`VectorCoreState.path_rtt` serves the RTT samplers with the
+  same per-link flush + integrate + prop/queue accumulation as the
+  behavioral ``path_delay`` chains, minus the method frames per hop.
+
+Float operation order is pinned to the behavioral backend exactly: the
+same EWMA sequencing, the same register add/subtract order, the same
+registration-order iteration, and the same OBS metric objects (imported
+from :mod:`repro.core.corenode`) emitting in the same order — so rows,
+payloads, and full trace streams are bit-identical across backends and
+transit modes (``tests/test_backend_conformance.py``,
+``tests/test_veccore_property.py``).
+
+Rare paths — frozen telemetry (StaleTelemetry faults) and the mutating
+``delta``/``sketch`` telemetry plans — fall back to the unfused mirror
+methods on the agent, which replicate :class:`CoreAgent` line for line
+against the arena columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bloom import CountingBloomFilter
+from repro.core.controller import SwitchController
+from repro.core.corenode import (
+    CoreAgent,
+    _EV_QUEUE,
+    _EV_REGISTER,
+    _EV_SWEEP,
+    _G_PHI,
+    _G_WINDOW,
+    _M_BLOOM_FP,
+    _M_STALE_STAMPS,
+    _M_SWEPT,
+    _S_QUEUE,
+    _S_TX,
+)
+from repro.core.params import UFabParams
+from repro.core.probe import HopRecord, ProbeHeader, ProbeKind
+from repro.core.telemetry import M_DELTAS_SUPPRESSED, M_SKETCH_FOLDS, get_plan
+from repro.obs import OBS
+from repro.sim.link import Link
+
+__all__ = ["VectorCoreAgent", "VectorCoreState"]
+
+_M_FUSED = OBS.metrics.counter(
+    "core.vector.fused_hops", unit="hops",
+    site="repro/core/veccore.py:VectorCoreState.fused_hop",
+    desc="Probe hops handled by the vector backend's fused "
+         "integrate+register+stamp path (no per-call chain).")
+_M_DRAINED = OBS.metrics.counter(
+    "core.vector.drained_flights", unit="flights",
+    site="repro/core/veccore.py:VectorCoreState.drain_flight",
+    desc="Probe flights whose pending ledger entries were drained in "
+         "one arena pass at arrival instead of per-entry flushes.")
+_M_FALLBACK = OBS.metrics.counter(
+    "core.vector.fallback_stamps", unit="hops",
+    site="repro/core/veccore.py:VectorCoreState.fused_hop",
+    desc="Fused-path hops that diverted to the unfused mirror methods "
+         "(frozen telemetry or a mutating delta/sketch plan).")
+
+_PROBE = ProbeKind.PROBE
+_FINISH = ProbeKind.FINISH
+_TAU = CoreAgent.TX_METER_TAU
+_NEW_HOP = HopRecord.__new__
+
+
+class VectorCoreState:
+    """Per-network arena: dense SoA columns for every core agent.
+
+    One instance is created per ``attach_core_agents`` pass (see
+    :meth:`VectorCoreAgent.begin_attach`) and shared by all agents of
+    that fabric.  Link columns are indexed by the interned link id
+    (``agent._li``, assigned in attach order — the sorted link
+    enumeration); pair columns are a shared row pool with a free list,
+    so churned pairs recycle rows instead of growing the arena.
+    """
+
+    __slots__ = (
+        "params", "index", "links", "agents",
+        "phi_total", "window_total", "tx_time", "tx_delivered", "tx_value",
+        "records_stamped", "false_positives", "deltas_suppressed",
+        "sketch_folds", "pair_phi", "pair_window", "pair_seen",
+        "_free_rows", "hooks", "_rtt_cache", "_rtt_cache_t",
+    )
+
+    #: float64 link-indexed columns (one slot per interned link)
+    _LINK_F64 = ("phi_total", "window_total", "tx_time", "tx_delivered",
+                 "tx_value")
+    #: integer link-indexed columns
+    _LINK_I64 = ("records_stamped", "false_positives", "deltas_suppressed",
+                 "sketch_folds")
+    #: float64 pair-row columns (shared pool across links)
+    _PAIR_F64 = ("pair_phi", "pair_window", "pair_seen")
+
+    def __init__(self, params: Optional[UFabParams] = None) -> None:
+        self.params = params or UFabParams()
+        self.index: Dict[str, int] = {}  # link name -> interned id
+        self.links: List[Link] = []
+        self.agents: List["VectorCoreAgent"] = []
+        for name in self._LINK_F64 + self._PAIR_F64 + self._LINK_I64:
+            setattr(self, name, [])
+        self._free_rows: List[int] = []
+        # Per-instant link-delay memo for path_rtt (see there).
+        self._rtt_cache: Dict[Link, float] = {}
+        self._rtt_cache_t = -1.0
+        # on_hop callable -> registers?  Installed by the edge fabric:
+        # the data-probe hook (register + stamp) maps to True, the scout
+        # hook (stamp only) to False.  ``Network.send_probe`` caches the
+        # lookup per flight; ``_TransitEntry.fire`` and
+        # ``_Flight.flush_own`` dispatch on the cached value.
+        self.hooks: Dict[object, bool] = {}
+
+    # ------------------------------------------------------------------
+    def intern_link(self, link: Link, agent: "VectorCoreAgent") -> int:
+        """Assign ``link`` a dense id and one slot in every link column."""
+        li = len(self.links)
+        self.index[link.name] = li
+        self.links.append(link)
+        self.agents.append(agent)
+        for name in self._LINK_F64:
+            getattr(self, name).append(0.0)
+        for name in self._LINK_I64:
+            getattr(self, name).append(0)
+        return li
+
+    def alloc_row(self) -> int:
+        """One pair row (phi, window, seen) from the shared pool."""
+        free = self._free_rows
+        if free:
+            return free.pop()
+        self.pair_phi.append(0.0)
+        self.pair_window.append(0.0)
+        self.pair_seen.append(0.0)
+        return len(self.pair_seen) - 1
+
+    def np_view(self, name: str) -> np.ndarray:
+        """Dense float64/int64 snapshot of a column for batch passes.
+
+        One C-speed copy of the live list — see the storage note in the
+        module docstring for why the canonical columns stay lists.
+        """
+        col = getattr(self, name)
+        dtype = np.int64 if name in self._LINK_I64 else np.float64
+        return np.asarray(col, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # The fused probe hot path
+    # ------------------------------------------------------------------
+    def fused_hop(self, link: Link, payload: ProbeHeader, t: float,
+                  registers: bool) -> None:
+        """One ledger-fired uFAB hop, fused: integrate + register + stamp.
+
+        Bit-equivalent to ``link._integrate(t)`` followed by the edge's
+        ``_probe_on_hop`` (``registers=True``) or ``_stamp_on_hop``
+        (``False``) — the exact work ``_TransitEntry.fire`` performs for
+        a stamped entry.  The behavioral ``measured_tx`` sync guard is
+        skipped: the integrate below leaves ``link._last_sync == t`` and
+        the ledger orders entries by (t, seq), so the guard is provably
+        false on this path.  Frozen telemetry and mutating telemetry
+        plans divert to the unfused mirror methods.
+        """
+        # -- link._integrate(t), calm case inlined -----------------------
+        ls = link._last_sync
+        if t > ls:
+            inflow = link.inflow
+            if link.queue == 0.0 and inflow <= link.capacity:
+                # excess <= 0 and nothing queued: served = inflow*dt,
+                # queue stays 0, peak unchanged — the same float ops as
+                # Link._integrate's unsaturated branch.
+                link.delivered_bits += inflow * (t - ls)
+                link._last_sync = t
+            else:
+                link._integrate(t)
+        agent: "VectorCoreAgent" = link.core_agent
+        kind = payload.kind
+        if agent._divert_probe and (agent._frozen is not None or kind == _PROBE):
+            # Rare: StaleTelemetry snapshot service or a delta/sketch
+            # plan's mutating stamp.  The mirror methods replicate the
+            # behavioral branches exactly (link is already synced, so
+            # their measured_tx guard no-ops).
+            if OBS.enabled:
+                _M_FALLBACK.inc()
+            if registers:
+                agent.on_probe(payload, t)
+            else:
+                agent.stamp(payload, t)
+            return
+        li = agent._li
+        lphi = self.phi_total
+        lwin = self.window_total
+        # -- registration (data/finish probes only) ----------------------
+        if registers:
+            if kind == _PROBE:
+                row = agent._rows.get(payload.pair_id)
+                if row is not None:
+                    phi = payload.phi
+                    window = payload.window
+                    pphi = self.pair_phi
+                    pwin = self.pair_window
+                    # Same op order as CoreAgent._register's hit path:
+                    # phi_total += phi - old_phi; window_total likewise.
+                    phi_total = lphi[li] + (phi - pphi[row])
+                    lphi[li] = phi_total
+                    window_total = lwin[li] + (window - pwin[row])
+                    lwin[li] = window_total
+                    pphi[row] = phi
+                    pwin[row] = window
+                    self.pair_seen[row] = t
+                else:
+                    agent._admit(payload.pair_id, payload.phi,
+                                 payload.window, t)
+                    phi_total = lphi[li]
+                    window_total = lwin[li]
+            else:
+                if kind == _FINISH:
+                    agent.on_finish(payload.pair_id)
+                phi_total = lphi[li]
+                window_total = lwin[li]
+        else:
+            phi_total = lphi[li]
+            window_total = lwin[li]
+        # -- stamp (live registers; frozen diverted above) ---------------
+        tt = self.tx_time
+        dt = t - tt[li]
+        if dt >= 5e-6:  # refresh when enough bytes/time accumulated
+            td = self.tx_delivered
+            tv = self.tx_value
+            delivered = link.delivered_bits
+            sample = (delivered - td[li]) / dt
+            alpha = dt / (dt + _TAU)
+            tx = tv[li]
+            tx += alpha * (sample - tx)
+            tv[li] = tx
+            tt[li] = t
+            td[li] = delivered
+        elif tt[li] == 0.0 and self.tx_delivered[li] == 0.0:
+            tx = link.tx_rate(t)
+            self.tx_value[li] = tx
+        else:
+            tx = self.tx_value[li]
+        queue = link.queue
+        rec = _NEW_HOP(HopRecord)
+        rec.window_total = window_total
+        rec.phi_total = phi_total
+        rec.tx_rate = tx
+        rec.queue = queue
+        rec.capacity = link.capacity
+        rec.link_name = link.name
+        payload.hops.append(rec)
+        self.records_stamped[li] += 1
+        if OBS.enabled:
+            _M_FUSED.inc()
+            name = link.name
+            OBS.trace.record(t, _EV_QUEUE, {
+                "link": name, "q_bits": queue, "tx_bps": tx,
+                "phi_total": phi_total, "window_total": window_total,
+            })
+            _S_QUEUE.sample(t, queue, key=name)
+            _S_TX.sample(t, tx, key=name)
+            _G_PHI.set(phi_total, key=name)
+            _G_WINDOW.set(window_total, key=name)
+
+    def drain_flight(self, flight, registers: bool) -> None:
+        """Apply a flight's still-pending ledger entries in one pass.
+
+        Replaces ``_Flight.flush_own``'s per-entry ``_flush_upto`` loop
+        for vector-agent flights: entries are walked in hop order (which
+        subsumes ``ensure_prior``), and each whose link's pending head
+        is the entry itself is popped and applied inline — elided
+        (no-stamp) hops integrate only.  A head that is *not* ours means
+        another flight's earlier (t, seq) emission is still pending on
+        that link; the generic ``_flush_upto`` handles that tail (our
+        entry then fires through the arena branch in
+        ``_TransitEntry.fire``, so it stays fused).
+        """
+        payload = flight.probe.payload
+        fused = self.fused_hop
+        for entry in flight.entries:
+            if entry.applied:
+                continue
+            link = entry.link
+            pending = link._pending
+            if pending and pending[0] is entry:
+                pending.pop(0)
+                entry.applied = True
+                t = entry.t
+                if entry.stamp:
+                    fused(link, payload, t, registers)
+                else:
+                    # No-stamp marker: integrate to the emission instant
+                    # only (same as _TransitEntry.fire's elided branch).
+                    ls = link._last_sync
+                    if t > ls:
+                        inflow = link.inflow
+                        if link.queue == 0.0 and inflow <= link.capacity:
+                            link.delivered_bits += inflow * (t - ls)
+                            link._last_sync = t
+                        else:
+                            link._integrate(t)
+            else:
+                link._flush_upto(entry.t, entry.seq)
+        if OBS.enabled:
+            _M_DRAINED.inc()
+
+    def path_rtt(self, path, reverse, now: float) -> float:
+        """Round-trip delay with the per-link sync/delay terms memoized.
+
+        Bit-identical to ``path_delay(path, now) + path_delay(reverse,
+        now)`` (:func:`repro.sim.link.path_delay`): each direction
+        accumulates left-to-right from 0.0 and the two subtotals are
+        added last, with the same flush-then-integrate sequence per link
+        — just without the sync/queue method frames per hop.
+
+        The RTT samplers call this for every tracked pair at the same
+        instant, and pair paths share links heavily, so the per-link
+        delay term ``prop_delay + queue/capacity`` is additionally
+        memoized per (link, ``now``).  That is sound because a link's
+        delay term cannot change between two reads at one instant: the
+        first visit flushes every due ledger entry and integrates to
+        ``now``, after which re-syncs are no-ops — an ``_integrate``
+        over ``dt == 0`` moves nothing and a same-instant ``set_inflow``
+        changes future service, not the current queue.  The memo is
+        keyed by the float instant itself and cleared on first use at a
+        new ``now``, so it never outlives the instant.
+        """
+        cache = self._rtt_cache
+        if now != self._rtt_cache_t:
+            cache.clear()
+            self._rtt_cache_t = now
+        cache_get = cache.get
+        fwd = 0.0
+        for link in path:
+            d = cache_get(link)
+            if d is None:
+                if now > link._last_sync:
+                    pending = link._pending
+                    if pending and pending[0].t < now:
+                        link._flush_upto(now, 0)
+                    ls = link._last_sync
+                    if now > ls:
+                        inflow = link.inflow
+                        if link.queue == 0.0 and inflow <= link.capacity:
+                            link.delivered_bits += inflow * (now - ls)
+                            link._last_sync = now
+                        else:
+                            link._integrate(now)
+                d = link.prop_delay + link.queue / link.capacity
+                cache[link] = d
+            fwd += d
+        rev = 0.0
+        for link in reverse:
+            d = cache_get(link)
+            if d is None:
+                if now > link._last_sync:
+                    pending = link._pending
+                    if pending and pending[0].t < now:
+                        link._flush_upto(now, 0)
+                    ls = link._last_sync
+                    if now > ls:
+                        inflow = link.inflow
+                        if link.queue == 0.0 and inflow <= link.capacity:
+                            link.delivered_bits += inflow * (now - ls)
+                            link._last_sync = now
+                        else:
+                            link._integrate(now)
+                d = link.prop_delay + link.queue / link.capacity
+                cache[link] = d
+            rev += d
+        return fwd + rev
+
+
+class VectorCoreAgent(SwitchController):
+    """Per-egress-port controller of the ``vector`` backend.
+
+    Hot register state lives in the shared :class:`VectorCoreState`
+    arena (slot ``self._li``); the instance keeps only cold/fault state
+    (frozen snapshots, the telemetry plan, the Bloom filter and its
+    cached index rows).  The public register/counter attributes the
+    :class:`SwitchController` contract documents are properties over
+    the arena columns.
+
+    Every mirror method below replicates :class:`CoreAgent` line for
+    line — same float op order, same OBS emissions — so the backend is
+    bit-identical whether a stamp arrives through the fused arena path
+    or through these methods directly.
+    """
+
+    TX_METER_TAU = CoreAgent.TX_METER_TAU
+
+    @classmethod
+    def begin_attach(cls, topology, params: Optional[UFabParams]):
+        return VectorCoreState(params)
+
+    def __init__(self, link: Link, params: Optional[UFabParams] = None,
+                 bloom_seed: int = 0,
+                 arena: Optional[VectorCoreState] = None) -> None:
+        self.link = link
+        self.params = params or UFabParams()
+        # Direct construction (unit tests) gets a private arena.
+        self.arena = arena if arena is not None else VectorCoreState(self.params)
+        self._li = self.arena.intern_link(link, self)
+        n_counters = max(64, self.params.bloom_bits)
+        self.bloom = CountingBloomFilter(
+            n_counters=n_counters, n_hashes=self.params.bloom_hashes,
+            seed=bloom_seed)
+        # pair_id -> cached Bloom index row (deterministic per (seed,
+        # key), so the cache survives bloom.clear()).
+        self._bidx: Dict[str, List[int]] = {}
+        # pair_id -> arena pair row; insertion order is registration
+        # order, exactly like CoreAgent._table.
+        self._rows: Dict[str, int] = {}
+        self._frozen: Optional[Tuple[float, float, float, float]] = None
+        self._frozen_at = 0.0
+        self._stale_age: Optional[float] = None
+        self.plan = get_plan(self.params.telemetry_plan)
+        self._plan_mutates = self.plan.mutates_stamp
+        self._delta_last: Optional[Tuple[float, float, float, float]] = None
+        # One-check divert flag for the fused path: true when frozen OR
+        # under a mutating plan (the fused path then re-checks which).
+        self._divert_probe = self._plan_mutates
+
+    # ------------------------------------------------------------------
+    # Public register/counter attributes (SwitchController contract)
+    # ------------------------------------------------------------------
+    @property
+    def phi_total(self) -> float:
+        return self.arena.phi_total[self._li]
+
+    @phi_total.setter
+    def phi_total(self, value: float) -> None:
+        self.arena.phi_total[self._li] = value
+
+    @property
+    def window_total(self) -> float:
+        return self.arena.window_total[self._li]
+
+    @window_total.setter
+    def window_total(self, value: float) -> None:
+        self.arena.window_total[self._li] = value
+
+    @property
+    def records_stamped(self) -> int:
+        return self.arena.records_stamped[self._li]
+
+    @records_stamped.setter
+    def records_stamped(self, value: int) -> None:
+        self.arena.records_stamped[self._li] = value
+
+    @property
+    def false_positives(self) -> int:
+        return self.arena.false_positives[self._li]
+
+    @false_positives.setter
+    def false_positives(self, value: int) -> None:
+        self.arena.false_positives[self._li] = value
+
+    @property
+    def deltas_suppressed(self) -> int:
+        return self.arena.deltas_suppressed[self._li]
+
+    @deltas_suppressed.setter
+    def deltas_suppressed(self, value: int) -> None:
+        self.arena.deltas_suppressed[self._li] = value
+
+    @property
+    def sketch_folds(self) -> int:
+        return self.arena.sketch_folds[self._li]
+
+    @sketch_folds.setter
+    def sketch_folds(self, value: int) -> None:
+        self.arena.sketch_folds[self._li] = value
+
+    # ------------------------------------------------------------------
+    # Probe path (unfused mirrors; the arena fast path inlines these)
+    # ------------------------------------------------------------------
+    def on_probe(self, header: ProbeHeader, now: float) -> None:
+        """Handle a forward probe: register demand, stamp INT."""
+        if header.kind == _PROBE:
+            self._register(header.pair_id, header.phi, header.window, now)
+        elif header.kind == _FINISH:
+            self.on_finish(header.pair_id)
+        self.stamp(header, now)
+
+    def _register(self, pair_id: str, phi: float, window: float,
+                  now: float) -> None:
+        row = self._rows.get(pair_id)
+        if row is not None:
+            arena = self.arena
+            li = self._li
+            # Mirrors CoreAgent._register's hit path exactly.
+            arena.phi_total[li] += phi - arena.pair_phi[row]
+            arena.window_total[li] += window - arena.pair_window[row]
+            arena.pair_phi[row] = phi
+            arena.pair_window[row] = window
+            arena.pair_seen[row] = now
+            return
+        self._admit(pair_id, phi, window, now)
+
+    def _admit(self, pair_id: str, phi: float, window: float,
+               now: float) -> None:
+        """Miss path of registration: Bloom check + new pair row."""
+        bidx = self._bidx
+        idx = bidx.get(pair_id)
+        if idx is None:
+            idx = self.bloom._indices(pair_id)
+            bidx[pair_id] = idx
+        bloom = self.bloom
+        arena = self.arena
+        li = self._li
+        if bloom.contains_at(idx):
+            # False positive: the pair looks already-seen, so its
+            # contribution is omitted (Phi_l, W_l under-estimate).
+            arena.false_positives[li] += 1
+            if OBS.enabled:
+                _M_BLOOM_FP.inc()
+            return
+        bloom.add_at(idx)
+        row = arena.alloc_row()
+        self._rows[pair_id] = row
+        arena.pair_phi[row] = phi
+        arena.pair_window[row] = window
+        arena.pair_seen[row] = now
+        arena.phi_total[li] += phi
+        arena.window_total[li] += window
+        if OBS.enabled:
+            OBS.trace.record(now, _EV_REGISTER, {
+                "link": self.link.name, "pair": pair_id,
+                "phi": phi, "window": window,
+            })
+
+    def measured_tx(self, now: float) -> float:
+        """EWMA'd windowed TX rate from the port's byte counter."""
+        link = self.link
+        pending = link._pending
+        if (pending and pending[0].t < now) or now > link._last_sync:
+            link.sync(now)
+        arena = self.arena
+        li = self._li
+        dt = now - arena.tx_time[li]
+        if dt >= 5e-6:  # refresh when enough bytes/time accumulated
+            delivered = link.delivered_bits
+            sample = (delivered - arena.tx_delivered[li]) / dt
+            alpha = dt / (dt + _TAU)
+            value = arena.tx_value[li]
+            value += alpha * (sample - value)
+            arena.tx_value[li] = value
+            arena.tx_time[li] = now
+            arena.tx_delivered[li] = delivered
+            return value
+        if arena.tx_time[li] == 0.0 and arena.tx_delivered[li] == 0.0:
+            value = link.tx_rate(now)
+            arena.tx_value[li] = value
+            return value
+        return arena.tx_value[li]
+
+    def stamp(self, header: ProbeHeader, now: float) -> None:
+        """Insert this hop's INT record (Figure 9, step 2-3)."""
+        if self._plan_mutates and header.kind == _PROBE:
+            self._stamp_planned(header, now)
+            return
+        link = self.link
+        arena = self.arena
+        li = self._li
+        if self._frozen is not None:
+            if self._stale_age is not None and now - self._frozen_at >= self._stale_age:
+                # Bounded staleness: refresh the snapshot every age_s.
+                self._frozen = self._snapshot(now)
+                self._frozen_at = now
+            window_total, phi_total, tx, queue = self._frozen
+            rec = HopRecord.__new__(HopRecord)
+            rec.window_total = window_total
+            rec.phi_total = phi_total
+            rec.tx_rate = tx
+            rec.queue = queue
+            rec.capacity = link.capacity
+            rec.link_name = link.name
+            header.hops.append(rec)
+            arena.records_stamped[li] += 1
+            if OBS.enabled:
+                _M_STALE_STAMPS.inc()
+                OBS.trace.record(now, _EV_QUEUE, {
+                    "link": link.name, "q_bits": queue, "tx_bps": tx,
+                    "phi_total": phi_total, "window_total": window_total,
+                })
+            return
+        tx = self.measured_tx(now)
+        # measured_tx just synced the link to ``now``, so the raw queue
+        # register is current — the same value queue_bits(now) returns.
+        queue = link.queue
+        phi_total = arena.phi_total[li]
+        window_total = arena.window_total[li]
+        rec = HopRecord.__new__(HopRecord)
+        rec.window_total = window_total
+        rec.phi_total = phi_total
+        rec.tx_rate = tx
+        rec.queue = queue
+        rec.capacity = link.capacity
+        rec.link_name = link.name
+        header.hops.append(rec)
+        arena.records_stamped[li] += 1
+        if OBS.enabled:
+            name = link.name
+            OBS.trace.record(now, _EV_QUEUE, {
+                "link": name, "q_bits": queue, "tx_bps": tx,
+                "phi_total": phi_total, "window_total": window_total,
+            })
+            _S_QUEUE.sample(now, queue, key=name)
+            _S_TX.sample(now, tx, key=name)
+            _G_PHI.set(phi_total, key=name)
+            _G_WINDOW.set(window_total, key=name)
+
+    def _stamp_planned(self, header: ProbeHeader, now: float) -> None:
+        """Data-probe stamp under a ``delta`` or ``sketch`` plan."""
+        link = self.link
+        arena = self.arena
+        li = self._li
+        if self._frozen is not None:
+            if self._stale_age is not None and now - self._frozen_at >= self._stale_age:
+                self._frozen = self._snapshot(now)
+                self._frozen_at = now
+            window_total, phi_total, tx, queue = self._frozen
+            if OBS.enabled:
+                _M_STALE_STAMPS.inc()
+        else:
+            tx = self.measured_tx(now)
+            queue = link.queue
+            window_total = arena.window_total[li]
+            phi_total = arena.phi_total[li]
+        plan = self.plan
+        if plan.kind == "delta":
+            view = (window_total, phi_total, tx, queue)
+            last = self._delta_last
+            if last is not None and not plan.moved(view, last):
+                arena.deltas_suppressed[li] += 1
+                if OBS.enabled:
+                    M_DELTAS_SUPPRESSED.inc()
+                return
+            self._delta_last = view
+        else:  # sketch: one folded record per probe
+            hops = header.hops
+            if hops:
+                head = hops[0]
+                arena.sketch_folds[li] += 1
+                if OBS.enabled:
+                    M_SKETCH_FOLDS.inc()
+                # Keep the bottleneck hop (max Phi_l / C_l via the exact
+                # cross-multiplied compare), path-max queue folded in.
+                if phi_total * head.capacity > head.phi_total * link.capacity:
+                    if head.queue > queue:
+                        queue = head.queue
+                    head.window_total = window_total
+                    head.phi_total = phi_total
+                    head.tx_rate = tx
+                    head.queue = queue
+                    head.capacity = link.capacity
+                    head.link_name = link.name
+                elif queue > head.queue:
+                    head.queue = queue
+                return
+        rec = HopRecord.__new__(HopRecord)
+        rec.window_total = window_total
+        rec.phi_total = phi_total
+        rec.tx_rate = tx
+        rec.queue = queue
+        rec.capacity = link.capacity
+        rec.link_name = link.name
+        header.hops.append(rec)
+        arena.records_stamped[li] += 1
+        if OBS.enabled:
+            name = link.name
+            OBS.trace.record(now, _EV_QUEUE, {
+                "link": name, "q_bits": queue, "tx_bps": tx,
+                "phi_total": phi_total, "window_total": window_total,
+            })
+            _S_QUEUE.sample(now, queue, key=name)
+            _S_TX.sample(now, tx, key=name)
+            _G_PHI.set(phi_total, key=name)
+            _G_WINDOW.set(window_total, key=name)
+
+    # ------------------------------------------------------------------
+    # Fault plane (repro.faults)
+    # ------------------------------------------------------------------
+    def _snapshot(self, now: float) -> Tuple[float, float, float, float]:
+        arena = self.arena
+        li = self._li
+        return (
+            arena.window_total[li],
+            arena.phi_total[li],
+            self.measured_tx(now),
+            self.link.queue_bits(now),
+        )
+
+    def freeze_telemetry(self, now: float, age_s: Optional[float] = None) -> None:
+        """Serve stale INT: stamp a frozen snapshot instead of live state."""
+        self._frozen = self._snapshot(now)
+        self._frozen_at = now
+        self._stale_age = age_s
+        self._divert_probe = True
+
+    def unfreeze_telemetry(self, now: Optional[float] = None) -> None:
+        # Apply any deferred fast-path stamps that were due while the
+        # freeze was in effect — they must be served from the frozen
+        # snapshot, not the live registers thawing now.
+        if now is not None:
+            self.link.flush_pending(now)
+        self._frozen = None
+        self._stale_age = None
+        self._divert_probe = self._plan_mutates
+
+    @property
+    def telemetry_frozen(self) -> bool:
+        return self._frozen is not None
+
+    def reset(self, now: float = 0.0) -> None:
+        """Line-card reboot (CoreReset fault): wipe Bloom + Phi_l/W_l."""
+        self.link.flush_pending(now)
+        arena = self.arena
+        li = self._li
+        rows = self._rows
+        if rows:
+            arena._free_rows.extend(rows.values())
+            rows.clear()
+        arena.phi_total[li] = 0.0
+        arena.window_total[li] = 0.0
+        self.bloom.clear()
+        # A rebooted line card has no last-stamped view either; the
+        # delta plan's first post-reset stamp always fires.
+        self._delta_last = None
+        # Restart the TX meter from the port's current byte counter.
+        arena.tx_time[li] = now
+        arena.tx_delivered[li] = self.link.delivered_bits
+        arena.tx_value[li] = 0.0
+
+    # ------------------------------------------------------------------
+    # Deactivation
+    # ------------------------------------------------------------------
+    def on_finish(self, pair_id: str) -> bool:
+        """Finish probe: drop the pair's contribution.  Returns ack."""
+        row = self._rows.pop(pair_id, None)
+        if row is None:
+            return True  # idempotent: already gone
+        arena = self.arena
+        li = self._li
+        phi = arena.pair_phi[row]
+        window = arena.pair_window[row]
+        arena.phi_total[li] = max(0.0, arena.phi_total[li] - phi)
+        arena.window_total[li] = max(0.0, arena.window_total[li] - window)
+        arena._free_rows.append(row)
+        idx = self._bidx.get(pair_id)
+        if idx is None:
+            idx = self.bloom._indices(pair_id)
+            self._bidx[pair_id] = idx
+        self.bloom.remove_at(idx)
+        return True
+
+    def sweep(self, now: float) -> int:
+        """Remove silently-inactive pairs (no probe within the timeout).
+
+        The staleness scan runs vectorized over the arena's ``pair_seen``
+        column once the table is big enough to pay for the dense view;
+        the retire order stays registration order either way, matching
+        the behavioral backend's table iteration bit for bit.
+        """
+        self.link.flush_pending(now)
+        timeout = self.params.silence_timeout_s
+        rows = self._rows
+        if len(rows) >= 64:
+            seen = self.arena.np_view("pair_seen")
+            idx = np.fromiter(rows.values(), dtype=np.intp, count=len(rows))
+            hits = ((now - seen[idx]) > timeout).tolist()
+            stale = [pid for pid, hit in zip(rows, hits) if hit]
+        else:
+            seen_col = self.arena.pair_seen
+            stale = [pid for pid, row in rows.items()
+                     if now - seen_col[row] > timeout]
+        for pid in stale:
+            self.on_finish(pid)
+        if stale and OBS.enabled:
+            _M_SWEPT.inc(len(stale))
+            OBS.trace.record(now, _EV_SWEEP,
+                             {"link": self.link.name, "removed": len(stale)})
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    def active_pairs(self) -> int:
+        return len(self._rows)
+
+    def target_capacity(self) -> float:
+        return self.params.target_capacity(self.link.capacity)
+
+    # ------------------------------------------------------------------
+    # Introspection (property suite / debugging)
+    # ------------------------------------------------------------------
+    def pairs_snapshot(self) -> Dict[str, Tuple[float, float, float]]:
+        """``pair_id -> (phi, window, last_seen)`` in registration order
+        — the vector image of ``CoreAgent._table``."""
+        arena = self.arena
+        pphi = arena.pair_phi
+        pwin = arena.pair_window
+        pseen = arena.pair_seen
+        return {pid: (pphi[row], pwin[row], pseen[row])
+                for pid, row in self._rows.items()}

@@ -1,13 +1,16 @@
-"""Backend conformance: behavioral and pipeline must be bit-identical.
+"""Backend conformance: alternative backends must be bit-identical.
 
 The ``pipeline`` backend (:mod:`repro.core.p4pipe`) re-implements the
 core agent as an explicit Tofino-like match-action pipeline — stages,
 one register-ALU RMW per register per packet, a stage budget, the
-Figure-22 layout stamped field-by-field.  It is only admissible as a
-backend if it is *bit-identical* to the behavioral reference on
-everything an experiment can observe: probe payloads, hop records,
-figure rows, and trace streams — across schemes, seeds, fault
-schedules, telemetry plans, and both probe-transit modes.
+Figure-22 layout stamped field-by-field.  The ``vector`` backend
+(:mod:`repro.core.veccore`) keeps all per-link register state in dense
+per-network SoA columns and fuses link integration with uFAB stamping
+on the probe fast path.  Either is only admissible as a backend if it
+is *bit-identical* to the behavioral reference on everything an
+experiment can observe: probe payloads, hop records, figure rows, and
+trace streams — across schemes, seeds, fault schedules, telemetry
+plans, and both probe-transit modes.
 
 Payload comparison is exact ``==`` after stripping ``events_processed``
 and ``_obs`` (the trace streams are compared separately, in full).
@@ -56,56 +59,63 @@ def _strip(payload):
             if k not in ("events_processed", "_obs")}
 
 
-def _assert_conformant(job, transit="fast"):
+ALT_BACKENDS = ("pipeline", "vector")
+
+
+def _assert_conformant(job, backend, transit="fast"):
     behavioral = _run(job, "behavioral", transit)
-    pipeline = _run(job, "pipeline", transit)
-    assert _strip(behavioral) == _strip(pipeline)
+    candidate = _run(job, backend, transit)
+    assert _strip(behavioral) == _strip(candidate)
 
 
 # ----------------------------------------------------------------------
-# Figure cells under both backends
+# Figure cells under every backend
 # ----------------------------------------------------------------------
 
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("transit", ("fast", "slow"))
 @pytest.mark.parametrize("seed", (1, 2, 3))
-def test_fig11_rows_identical_across_backends(seed, transit):
+def test_fig11_rows_identical_across_backends(seed, transit, backend):
     _assert_conformant(Job(
         "fig11", FIG11, scheme="ufab", seed=seed,
         params={"scheme": "ufab", "duration": 0.006, "seed": seed}),
-        transit)
+        backend, transit)
 
 
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("transit", ("fast", "slow"))
 @pytest.mark.parametrize("seed", (1, 2))
-def test_faulted_resilience_identical_across_backends(seed, transit):
+def test_faulted_resilience_identical_across_backends(seed, transit, backend):
     dur = 0.008
     faults = parse_faults(MIXED, horizon=dur, seed=seed).to_config()
     _assert_conformant(Job(
         "fig_resilience", RESIL, scheme="ufab", seed=seed,
         params={"scheme": "ufab", "axis": "mixed", "level": 1.0,
                 "duration": dur, "seed": seed},
-        faults=faults), transit)
+        faults=faults), backend, transit)
 
 
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("plan", TELEM_PLANS)
-def test_telemetry_plans_identical_across_backends(plan):
+def test_telemetry_plans_identical_across_backends(plan, backend):
     _assert_conformant(Job(
         "fig_telemetry", TELEM, scheme="ufab", seed=3,
         params={"plan": plan, "duration": 0.006,
-                "join_interval": 0.0004, "seed": 3}))
+                "join_interval": 0.0004, "seed": 3}), backend)
 
 
-def test_trace_streams_identical_across_backends():
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_trace_streams_identical_across_backends(backend):
     # Not just the figure rows: the full observability trace — every
     # register event, series sample, and gauge — must match record for
-    # record (both backends emit through the same OBS metric objects).
+    # record (all backends emit through the same OBS metric objects).
     job = Job("fig11", FIG11, scheme="ufab", seed=3,
               params={"scheme": "ufab", "duration": 0.004, "seed": 3},
               obs={"trace": True, "trace_capacity": 200_000})
     behavioral = _run(job, "behavioral")
-    pipeline = _run(job, "pipeline")
-    assert _strip(behavioral) == _strip(pipeline)
-    assert behavioral["_obs"]["trace"] == pipeline["_obs"]["trace"]
+    candidate = _run(job, backend)
+    assert _strip(behavioral) == _strip(candidate)
+    assert behavioral["_obs"]["trace"] == candidate["_obs"]["trace"]
 
 
 # ----------------------------------------------------------------------
@@ -129,6 +139,28 @@ def test_unknown_backend_fails_eagerly():
               backend="no-such-backend")
     with pytest.raises(ValueError, match="behavioral"):
         execute_job(job)
+
+
+def test_unknown_backend_error_lists_every_registered_name():
+    # The eager-validation message must enumerate the registry so a typo
+    # in a sweep config is self-diagnosing (default listed first).
+    from repro.core.controller import backend_names, resolve_backend
+    names = backend_names()
+    assert names[0] == "behavioral"
+    assert "pipeline" in names and "vector" in names
+    with pytest.raises(ValueError) as err:
+        resolve_backend("no-such-backend")
+    for name in names:
+        assert name in str(err.value)
+
+
+def test_unknown_solver_mode_error_lists_valid_modes():
+    # Same contract for the fluid solver's REPRO_SOLVER modes.
+    from repro.sim.fluid import FluidSolver
+    with pytest.raises(ValueError) as err:
+        FluidSolver(mode="no-such-mode")
+    for mode in ("auto", "scalar", "vector"):
+        assert mode in str(err.value)
 
 
 def test_execute_job_restores_environment():
